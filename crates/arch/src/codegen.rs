@@ -1,0 +1,124 @@
+//! HLS code generation analog (Figures 4–6 of the paper).
+//!
+//! RSQP emits problem-specific High-Level-Synthesis C++ for the alignment
+//! and routing logic between the MAC tree and the vector buffers. We cannot
+//! run Vitis, but the *generation* step is pure string templating driven by
+//! the structure set, so we reproduce it faithfully: the output of
+//! [`alignment_switch`] matches the shape of the paper's
+//! `align_acc_cnt_switch.h` (Figure 4 generates it, Figure 5 includes it).
+
+use rsqp_encode::StructureSet;
+
+/// Generates the `align_acc_cnt_switch.h` routing snippet for a structure
+/// set: a nested switch over the per-cycle output count (`acc_cnt`) and the
+/// current alignment pointer, rotating variable-length MAC-tree outputs
+/// into the fixed `C`-wide vector-buffer lanes.
+pub fn alignment_switch(set: &StructureSet) -> String {
+    let c = set.alphabet().c();
+    // Distinct per-cycle output counts across the structures.
+    let mut counts: Vec<usize> = set.structures().iter().map(|s| s.num_slots()).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let acc_pack_width = counts.iter().copied().max().unwrap_or(1);
+
+    let mut out = String::new();
+    if counts == [1] {
+        out.push_str("align_out[0] << acc_pack.data[0];\n");
+        return out;
+    }
+    out.push_str("switch (acc_cnt) {\n");
+    for &case_width in &counts {
+        out.push_str(&format!("case {case_width}:\n"));
+        out.push_str("\tswitch (align_ptr) {\n");
+        for i in 0..acc_pack_width {
+            out.push_str(&format!("\tcase {i}:\n"));
+            for j in 0..case_width {
+                out.push_str(&format!(
+                    "\t\talign_out[{}] << acc_pack.data[{}];\n",
+                    (j + i) % acc_pack_width,
+                    j
+                ));
+            }
+            out.push_str("\t\tbreak;\n");
+        }
+        out.push_str("\t}\n\tbreak;\n");
+    }
+    out.push_str("}\nalign_ptr += acc_cnt;\n");
+    out.push_str(&format!("// generated for {} (C = {c})\n", set));
+    out
+}
+
+/// Generates the enclosing `spmv_align` HLS function (the paper's Figure 5)
+/// with the snippet inlined.
+pub fn spmv_align_function(set: &StructureSet) -> String {
+    let snippet = alignment_switch(set)
+        .lines()
+        .map(|l| format!("        {l}"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut f = String::new();
+    f.push_str("void spmv_align(int align_cnt,\n");
+    f.push_str("                data_stream align_out[ACC_PACK_NUM],\n");
+    f.push_str("                cnt_pack_stream &acc_cnt_in,\n");
+    f.push_str("                data_stream &acc_complete_in,\n");
+    f.push_str("                spmv_pack_stream &spmv_pack_in)\n");
+    f.push_str("{\n");
+    f.push_str("    ap_uint<ALIGN_PTR_BITWIDTH> align_ptr = 0;\n");
+    f.push_str("align_loop:\n");
+    f.push_str("    for (int loc = 0; loc < align_cnt; loc++)\n");
+    f.push_str("    {\n");
+    f.push_str("#pragma HLS pipeline II = 1\n");
+    f.push_str("        u16_t acc_cnt = acc_cnt_in.read();\n");
+    f.push_str("        spmv_pack_t acc_pack;\n");
+    f.push_str("        if (acc_cnt == CNT_AS_FADD_FLAG) {\n");
+    f.push_str("            acc_pack.data[0] = acc_complete_in.read();\n");
+    f.push_str("            acc_cnt = 1;\n");
+    f.push_str("        } else {\n");
+    f.push_str("            acc_pack = spmv_pack_in.read();\n");
+    f.push_str("        }\n");
+    f.push_str(&snippet);
+    f.push_str("\n    }\n}\n");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_encode::Alphabet;
+
+    #[test]
+    fn baseline_emits_single_line() {
+        let set = StructureSet::baseline(Alphabet::new(16));
+        let code = alignment_switch(&set);
+        assert_eq!(code, "align_out[0] << acc_pack.data[0];\n");
+    }
+
+    #[test]
+    fn customized_set_emits_switch_cases() {
+        let set = StructureSet::parse("4d1f", Alphabet::new(32));
+        let code = alignment_switch(&set);
+        assert!(code.contains("switch (acc_cnt)"));
+        assert!(code.contains("case 4:"));
+        assert!(code.contains("case 1:"));
+        assert!(code.contains("align_ptr += acc_cnt;"));
+        // Rotation: with pack width 4, case 4 at ptr 1 routes data[3] to
+        // out[(3+1)%4] = out[0].
+        assert!(code.contains("align_out[0] << acc_pack.data[3];"));
+    }
+
+    #[test]
+    fn function_wrapper_includes_fadd_path() {
+        let set = StructureSet::parse("16a1e", Alphabet::new(16));
+        let f = spmv_align_function(&set);
+        assert!(f.contains("CNT_AS_FADD_FLAG"));
+        assert!(f.contains("#pragma HLS pipeline II = 1"));
+        assert!(f.contains("switch (acc_cnt)"));
+    }
+
+    #[test]
+    fn output_grows_with_structure_variety() {
+        let small = alignment_switch(&StructureSet::parse("2b1c", Alphabet::new(4)));
+        let big = alignment_switch(&StructureSet::parse("16a8b4c2d1e", Alphabet::new(16)));
+        assert!(big.len() > small.len());
+    }
+}

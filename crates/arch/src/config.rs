@@ -1,0 +1,199 @@
+//! Architecture configuration and the cycle-cost model.
+
+use rsqp_encode::{Alphabet, StructureSet};
+
+/// How the compressed vector buffers are organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CvbPolicy {
+    /// First-Fit compressed layout (the customized design, §4.3).
+    #[default]
+    FirstFit,
+    /// `C` full copies of the vector (the paper's baseline design:
+    /// "C copies of the vector were stored in CVB", §5.2).
+    FullDuplication,
+}
+
+/// Which pack scheduler maps row strings onto the structure set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The paper's greedy string-replacement scheduler (§4.2).
+    #[default]
+    Greedy,
+    /// The exact dynamic-programming scheduler (our ablation; never more
+    /// cycles than greedy).
+    DpOptimal,
+}
+
+/// Per-instruction-class fixed latencies, in cycles.
+///
+/// These model pipeline fill, instruction fetch/decode, and result
+/// write-back of the corresponding hardware units. The streaming *throughput*
+/// terms (`⌈L/C⌉`, scheduled pack count, compressed address count) are added
+/// on top by the machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed overhead of a vector-engine instruction.
+    pub vector_latency: u64,
+    /// Fixed overhead of an SpMV instruction (MAC-tree depth + alignment
+    /// drain).
+    pub spmv_latency: u64,
+    /// Fixed overhead of a vector-duplication instruction.
+    pub dup_latency: u64,
+    /// Latency of a scalar ALU instruction.
+    pub scalar_latency: u64,
+    /// Latency of the loop-control instruction.
+    pub control_latency: u64,
+    /// Fixed overhead of an HBM transfer instruction.
+    pub transfer_latency: u64,
+    /// Extra cycles per dot product for the reduction drain.
+    pub dot_drain: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            vector_latency: 12,
+            spmv_latency: 40,
+            dup_latency: 12,
+            scalar_latency: 8,
+            control_latency: 4,
+            transfer_latency: 24,
+            dot_drain: 16,
+        }
+    }
+}
+
+/// A concrete architecture instance: datapath width `C`, the customized MAC
+/// structure set `S`, and the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    c: usize,
+    set: StructureSet,
+    cost: CostModel,
+    cvb: CvbPolicy,
+    scheduler: SchedulePolicy,
+    single_precision: bool,
+}
+
+impl ArchConfig {
+    /// Creates a configuration from a structure set (First-Fit CVB).
+    pub fn new(set: StructureSet) -> Self {
+        ArchConfig {
+            c: set.alphabet().c(),
+            set,
+            cost: CostModel::default(),
+            cvb: CvbPolicy::FirstFit,
+            scheduler: SchedulePolicy::Greedy,
+            single_precision: false,
+        }
+    }
+
+    /// The paper's baseline architecture at width `c`: single-output MAC
+    /// tree and `C` full vector copies in the CVB.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `c` is a power of two in `[2, 1024]`.
+    pub fn baseline(c: usize) -> Self {
+        ArchConfig::new(StructureSet::baseline(Alphabet::new(c)))
+            .with_cvb_policy(CvbPolicy::FullDuplication)
+    }
+
+    /// Overrides the CVB organization.
+    pub fn with_cvb_policy(mut self, cvb: CvbPolicy) -> Self {
+        self.cvb = cvb;
+        self
+    }
+
+    /// Overrides the pack scheduler (greedy is the paper's method).
+    pub fn with_scheduler(mut self, scheduler: SchedulePolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The pack-scheduler policy.
+    pub fn scheduler(&self) -> SchedulePolicy {
+        self.scheduler
+    }
+
+    /// Emulates the FPGA's single-precision arithmetic: every functional
+    /// result is rounded to `f32` before being stored (the paper's hardware
+    /// computes in single precision; see `DESIGN.md` for the default-f64
+    /// fidelity note).
+    pub fn with_single_precision(mut self, on: bool) -> Self {
+        self.single_precision = on;
+        self
+    }
+
+    /// Whether single-precision emulation is enabled.
+    pub fn single_precision(&self) -> bool {
+        self.single_precision
+    }
+
+    /// The CVB organization.
+    pub fn cvb_policy(&self) -> CvbPolicy {
+        self.cvb
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Datapath width `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// The MAC structure set.
+    pub fn set(&self) -> &StructureSet {
+        &self.set
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Cycles for a streaming vector instruction over length `l`:
+    /// `⌈l/C⌉` plus the fixed latency.
+    pub fn vector_cycles(&self, l: usize) -> u64 {
+        self.cost.vector_latency + l.div_ceil(self.c) as u64
+    }
+
+    /// Cycles for an HBM transfer of length `l`.
+    pub fn transfer_cycles(&self, l: usize) -> u64 {
+        self.cost.transfer_latency + l.div_ceil(self.c) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_single_structure() {
+        let cfg = ArchConfig::baseline(16);
+        assert_eq!(cfg.c(), 16);
+        assert_eq!(cfg.set().len(), 1);
+    }
+
+    #[test]
+    fn vector_cycles_scale_inversely_with_c() {
+        let c16 = ArchConfig::baseline(16);
+        let c64 = ArchConfig::baseline(64);
+        let lat = CostModel::default().vector_latency;
+        assert_eq!(c16.vector_cycles(1600), lat + 100);
+        assert_eq!(c64.vector_cycles(1600), lat + 25);
+        assert_eq!(c16.vector_cycles(0), lat);
+        assert_eq!(c16.vector_cycles(1), lat + 1);
+    }
+
+    #[test]
+    fn cost_model_override() {
+        let cfg = ArchConfig::baseline(4)
+            .with_cost_model(CostModel { vector_latency: 0, ..Default::default() });
+        assert_eq!(cfg.vector_cycles(8), 2);
+    }
+}

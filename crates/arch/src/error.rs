@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by program validation and machine execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// A register id is outside the machine's register file.
+    BadRegister(String),
+    /// Operand vector lengths disagree.
+    LengthMismatch {
+        /// Instruction description.
+        instr: String,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// An SpMV read a CVB that does not hold the instruction's input vector
+    /// (a missing or stale vector-duplication instruction in the program).
+    StaleCvb {
+        /// The matrix whose CVB was read.
+        matrix: usize,
+    },
+    /// Loop structure is malformed (LoopEnd without LoopStart, nesting, …).
+    MalformedLoop(String),
+    /// The hardware loop hit its trip cap without the exit condition firing.
+    LoopCapReached {
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::BadRegister(msg) => write!(f, "bad register: {msg}"),
+            ArchError::LengthMismatch { instr, expected, found } => {
+                write!(f, "length mismatch in {instr}: expected {expected}, found {found}")
+            }
+            ArchError::StaleCvb { matrix } => write!(
+                f,
+                "SpMV on matrix {matrix} reads a stale or unloaded CVB (missing Duplicate)"
+            ),
+            ArchError::MalformedLoop(msg) => write!(f, "malformed loop: {msg}"),
+            ArchError::LoopCapReached { cap } => {
+                write!(f, "hardware loop reached its trip cap of {cap}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ArchError::StaleCvb { matrix: 2 }.to_string().contains('2'));
+        assert!(ArchError::LoopCapReached { cap: 7 }.to_string().contains('7'));
+        assert!(ArchError::BadRegister("v9".into()).to_string().contains("v9"));
+    }
+}

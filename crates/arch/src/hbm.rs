@@ -1,0 +1,145 @@
+//! High-bandwidth-memory channel model (§3.1).
+//!
+//! "The sparse matrices P, A and Aᵀ of the problem, represented by the
+//! non-zero values and their coordinates, are partitioned across different
+//! HBM channels for high throughput parallel access." This module models
+//! that partitioning for the U50's HBM2 stack and validates that a chosen
+//! datapath width `C` is actually sustainable: streaming `C` values plus
+//! `C` indices per cycle needs enough channels.
+
+use rsqp_sparse::CsrMatrix;
+
+/// Bytes per streamed non-zero: an `f32` value plus a 32-bit vector index
+/// (the layout the paper's accelerator uses).
+pub const BYTES_PER_NNZ: usize = 8;
+
+/// The HBM stack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmModel {
+    /// Number of pseudo-channels (U50: 32).
+    pub channels: usize,
+    /// Sustained bandwidth per channel in bytes per second (U50: ~6.3 GB/s
+    /// per pseudo-channel for streaming reads ≈ 201 GB/s aggregate).
+    pub channel_bw: f64,
+    /// Capacity per channel in bytes (U50: 8 GiB / 32).
+    pub channel_capacity: usize,
+}
+
+impl HbmModel {
+    /// The AMD-Xilinx U50 configuration used in the paper (Table 2).
+    pub fn u50() -> Self {
+        HbmModel {
+            channels: 32,
+            channel_bw: 6.3e9,
+            channel_capacity: (8usize << 30) / 32,
+        }
+    }
+
+    /// Number of channels needed to stream `c` non-zeros per cycle at
+    /// `fmax_hz` without stalling.
+    pub fn required_channels(&self, c: usize, fmax_hz: f64) -> usize {
+        let demand = c as f64 * BYTES_PER_NNZ as f64 * fmax_hz;
+        (demand / self.channel_bw).ceil() as usize
+    }
+
+    /// Whether width `c` at `fmax_hz` is sustainable on this stack.
+    pub fn sustains(&self, c: usize, fmax_hz: f64) -> bool {
+        self.required_channels(c, fmax_hz) <= self.channels
+    }
+
+    /// Round-robin channel assignment for a matrix's non-zero stream,
+    /// chunked by pack rows: returns per-channel byte loads. Balanced loads
+    /// mean the stream saturates all assigned channels.
+    pub fn partition(&self, matrices: &[&CsrMatrix]) -> Vec<usize> {
+        let mut loads = vec![0usize; self.channels];
+        let mut ch = 0;
+        for m in matrices {
+            for row in 0..m.nrows() {
+                let bytes = m.row_nnz(row) * BYTES_PER_NNZ;
+                loads[ch] += bytes;
+                ch = (ch + 1) % self.channels;
+            }
+        }
+        loads
+    }
+
+    /// Imbalance of a partition: max load / mean load (1.0 = perfect).
+    pub fn imbalance(loads: &[usize]) -> f64 {
+        let total: usize = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / loads.len() as f64;
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// Whether the matrices fit in the stack.
+    pub fn fits(&self, matrices: &[&CsrMatrix]) -> bool {
+        let loads = self.partition(matrices);
+        loads.iter().all(|&b| b <= self.channel_capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u50_sustains_the_papers_design_points() {
+        let hbm = HbmModel::u50();
+        // C = 64 at 300 MHz: 64 * 8 B * 3e8 = 153.6 GB/s < 201 GB/s. OK.
+        assert!(hbm.sustains(64, 300e6));
+        // C = 128 at 300 MHz would exceed the stack.
+        assert!(!hbm.sustains(128, 300e6));
+        assert!(hbm.required_channels(64, 300e6) <= 32);
+    }
+
+    #[test]
+    fn required_channels_scales_linearly() {
+        let hbm = HbmModel::u50();
+        let a = hbm.required_channels(16, 300e6);
+        let b = hbm.required_channels(32, 300e6);
+        assert!(b >= 2 * a - 1);
+    }
+
+    #[test]
+    fn partition_balances_uniform_matrices() {
+        let hbm = HbmModel::u50();
+        let m = CsrMatrix::from_diag(&vec![1.0; 640]);
+        let loads = hbm.partition(&[&m]);
+        assert_eq!(loads.iter().sum::<usize>(), 640 * BYTES_PER_NNZ);
+        assert!((HbmModel::imbalance(&loads) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_reports_skew() {
+        let hbm = HbmModel { channels: 2, channel_bw: 1e9, channel_capacity: 1 << 20 };
+        // One heavy row then one light row: alternating assignment skews.
+        let m = CsrMatrix::from_triplets(
+            2,
+            100,
+            (0..99)
+                .map(|j| (0usize, j, 1.0))
+                .chain(std::iter::once((1usize, 0usize, 1.0)))
+                .collect::<Vec<_>>(),
+        );
+        let loads = hbm.partition(&[&m]);
+        assert!(HbmModel::imbalance(&loads) > 1.5);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let tiny = HbmModel { channels: 2, channel_bw: 1e9, channel_capacity: 64 };
+        let small = CsrMatrix::identity(4);
+        assert!(tiny.fits(&[&small]));
+        let big = CsrMatrix::from_diag(&vec![1.0; 1000]);
+        assert!(!tiny.fits(&[&big]));
+    }
+
+    #[test]
+    fn empty_partition_is_balanced() {
+        let loads = vec![0usize; 4];
+        assert_eq!(HbmModel::imbalance(&loads), 1.0);
+    }
+}

@@ -1,0 +1,683 @@
+//! The cycle-level machine.
+
+use rsqp_cvb::{first_fit, AccessMatrix, CvbLayout};
+use rsqp_encode::{dp_schedule, greedy_schedule, Schedule, SparsityString};
+use rsqp_sparse::CsrMatrix;
+
+use crate::config::{CvbPolicy, SchedulePolicy};
+use crate::program::class_of;
+use crate::{ArchConfig, ArchError, Instr, MatrixId, Program, SReg, ScalarOp, VecId};
+
+/// Per-instruction-class cycle totals — the machine's answer to "where did
+/// the time go", used for the FPGA-side KKT-fraction analysis and the power
+/// model's utilization estimate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// SpMV instruction cycles.
+    pub spmv: u64,
+    /// Vector-engine instruction cycles (including dot products).
+    pub vector: u64,
+    /// Vector-duplication cycles.
+    pub duplication: u64,
+    /// Scalar ALU cycles.
+    pub scalar: u64,
+    /// HBM transfer cycles.
+    pub transfer: u64,
+    /// Control (loop) cycles.
+    pub control: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.spmv + self.vector + self.duplication + self.scalar + self.transfer + self.control
+    }
+
+    fn add(&mut self, class: &str, cycles: u64) {
+        match class {
+            "spmv" => self.spmv += cycles,
+            "vector" => self.vector += cycles,
+            "duplication" => self.duplication += cycles,
+            "scalar" => self.scalar += cycles,
+            "transfer" => self.transfer += cycles,
+            "control" => self.control += cycles,
+            other => unreachable!("unknown class {other}"),
+        }
+    }
+}
+
+/// Execution statistics of one `run`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles by instruction class.
+    pub breakdown: CycleBreakdown,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Hardware-loop trips taken.
+    pub loop_trips: u64,
+}
+
+/// One matrix resident in (simulated) HBM with its customization artifacts.
+#[derive(Debug, Clone)]
+struct MatrixUnit {
+    csr: CsrMatrix,
+    string: SparsityString,
+    schedule: Schedule,
+    layout: CvbLayout,
+    access: AccessMatrix,
+    /// Which vector (and write-version) currently sits in this matrix's CVB.
+    cvb: Option<(VecId, u64)>,
+}
+
+/// The simulated RSQP accelerator.
+///
+/// Holds the register files, the matrices with their pack schedules and CVB
+/// layouts, and executes [`Program`]s functionally while counting cycles.
+#[derive(Debug)]
+pub struct Machine {
+    config: ArchConfig,
+    vecs: Vec<Vec<f64>>,
+    vec_versions: Vec<u64>,
+    sregs: Vec<f64>,
+    matrices: Vec<MatrixUnit>,
+    stats: RunStats,
+    lane_exact: bool,
+}
+
+impl Machine {
+    /// Creates a machine with the given architecture configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        Machine {
+            config,
+            vecs: Vec::new(),
+            vec_versions: Vec::new(),
+            sregs: Vec::new(),
+            matrices: Vec::new(),
+            stats: RunStats::default(),
+            lane_exact: false,
+        }
+    }
+
+    /// Enables lane-exact SpMV execution: every SpMV is evaluated through
+    /// the scheduled datapath (slot by slot, reading operands through the
+    /// compressed-CVB bank translation) instead of the fast CSR kernel.
+    /// Slower, used by tests to prove the two paths agree.
+    pub fn set_lane_exact(&mut self, on: bool) {
+        self.lane_exact = on;
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Registers a matrix: builds its pack schedule (greedy, as in the
+    /// paper) and the CVB layout dictated by the configuration's
+    /// [`CvbPolicy`] (First-Fit for customized designs, `C` full copies for
+    /// the baseline).
+    pub fn add_matrix(&mut self, m: &CsrMatrix) -> MatrixId {
+        let c = self.config.c();
+        let string = SparsityString::encode(m, c);
+        let schedule = match self.config.scheduler() {
+            SchedulePolicy::Greedy => greedy_schedule(&string, self.config.set()),
+            SchedulePolicy::DpOptimal => dp_schedule(&string, self.config.set()),
+        };
+        let access = AccessMatrix::from_schedule(&schedule, &string, m, self.config.set());
+        let layout = match self.config.cvb_policy() {
+            CvbPolicy::FirstFit => first_fit(&access),
+            CvbPolicy::FullDuplication => CvbLayout::full_duplication(&access),
+        };
+        self.matrices.push(MatrixUnit {
+            csr: m.clone(),
+            string,
+            schedule,
+            layout,
+            access,
+            cvb: None,
+        });
+        MatrixId(self.matrices.len() - 1)
+    }
+
+    /// Allocates a vector register of length `len`, zero-initialized.
+    pub fn alloc_vec(&mut self, len: usize) -> VecId {
+        self.vecs.push(vec![0.0; len]);
+        self.vec_versions.push(0);
+        VecId(self.vecs.len() - 1)
+    }
+
+    /// Allocates a scalar register, zero-initialized.
+    pub fn alloc_scalar(&mut self) -> SReg {
+        self.sregs.push(0.0);
+        SReg(self.sregs.len() - 1)
+    }
+
+    /// Host write into a vector register (models the CPU filling HBM before
+    /// a run; cycle-free — the in-program [`Instr::LoadHbm`] carries the
+    /// transfer cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn write_vec(&mut self, id: VecId, data: &[f64]) {
+        assert_eq!(self.vecs[id.0].len(), data.len(), "vector length mismatch");
+        self.vecs[id.0].copy_from_slice(data);
+        self.vec_versions[id.0] += 1;
+    }
+
+    /// Host read of a vector register.
+    pub fn read_vec(&self, id: VecId) -> &[f64] {
+        &self.vecs[id.0]
+    }
+
+    /// Host write of a scalar register.
+    pub fn write_scalar(&mut self, id: SReg, v: f64) {
+        self.sregs[id.0] = v;
+    }
+
+    /// Host read of a scalar register.
+    pub fn read_scalar(&self, id: SReg) -> f64 {
+        self.sregs[id.0]
+    }
+
+    /// Replaces a registered matrix's numeric values (structure must be
+    /// identical). The pack schedule, CVB layout, and cycle model are
+    /// untouched — only the HBM-resident values change, which is exactly
+    /// what the architecture-reuse story of §1 requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparsity structure differs.
+    pub fn update_matrix_values(&mut self, id: MatrixId, m: &CsrMatrix) {
+        let unit = &mut self.matrices[id.0];
+        assert!(
+            rsqp_encode::SparsityString::encode(m, self.config.c()).chars()
+                == unit.string.chars()
+                && unit.csr.indptr() == m.indptr()
+                && unit.csr.indices() == m.indices(),
+            "matrix value update changed the sparsity structure"
+        );
+        unit.csr = m.clone();
+        // Any CVB contents are now stale only if the *vector* changed, not
+        // the matrix; matrix values live in HBM, so the CVB stays valid.
+    }
+
+    /// Pack schedule of a registered matrix.
+    pub fn schedule_of(&self, id: MatrixId) -> &Schedule {
+        &self.matrices[id.0].schedule
+    }
+
+    /// CVB layout of a registered matrix.
+    pub fn layout_of(&self, id: MatrixId) -> &CvbLayout {
+        &self.matrices[id.0].layout
+    }
+
+    /// Cumulative statistics since the last [`Machine::reset_stats`].
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Clears the cycle counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// Executes a program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] on operand mismatches, stale CVB reads, or
+    /// a loop-trip overflow.
+    pub fn run(&mut self, program: &Program) -> Result<(), ArchError> {
+        let mut pc = 0usize;
+        let mut trips = 0usize;
+        let instrs = program.instrs();
+        while pc < instrs.len() {
+            let i = &instrs[pc];
+            let cycles = self.execute(i)?;
+            self.stats.cycles += cycles;
+            self.stats.breakdown.add(class_of(i), cycles);
+            self.stats.instructions += 1;
+            match i {
+                Instr::LoopEndIfLess { a, b } => {
+                    let exit = self.sregs[a.0] < self.sregs[b.0];
+                    if exit {
+                        pc += 1;
+                    } else {
+                        trips += 1;
+                        self.stats.loop_trips += 1;
+                        if trips >= program.max_trips() {
+                            return Err(ArchError::LoopCapReached { cap: program.max_trips() });
+                        }
+                        let (start, _) = program
+                            .loop_bounds()
+                            .ok_or_else(|| ArchError::MalformedLoop("no loop bounds".into()))?;
+                        pc = start + 1;
+                    }
+                }
+                _ => pc += 1,
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, i: &Instr) -> Result<u64, ArchError> {
+        let cost = *self.config.cost();
+        match *i {
+            Instr::LoopStart => Ok(0),
+            Instr::LoopEndIfLess { .. } => Ok(cost.control_latency),
+            Instr::SetScalar { dst, value } => {
+                self.check_sreg(dst)?;
+                self.sregs[dst.0] = value;
+                Ok(0)
+            }
+            Instr::Scalar { op, dst, a, b } => {
+                self.check_sreg(dst)?;
+                self.check_sreg(a)?;
+                self.check_sreg(b)?;
+                let (x, y) = (self.sregs[a.0], self.sregs[b.0]);
+                self.sregs[dst.0] = match op {
+                    ScalarOp::Add => x + y,
+                    ScalarOp::Sub => x - y,
+                    ScalarOp::Mul => x * y,
+                    ScalarOp::Div => x / y,
+                    ScalarOp::Max => x.max(y),
+                };
+                self.round_scalar(dst);
+                Ok(cost.scalar_latency)
+            }
+            Instr::LoadHbm { vec } | Instr::StoreHbm { vec } => {
+                self.check_vec(vec)?;
+                Ok(self.config.transfer_cycles(self.vecs[vec.0].len()))
+            }
+            Instr::Lincomb { dst, alpha, a, beta, b } => {
+                let l = self.binary_lengths("lincomb", dst, a, b)?;
+                self.check_sreg(alpha)?;
+                self.check_sreg(beta)?;
+                let (al, be) = (self.sregs[alpha.0], self.sregs[beta.0]);
+                for k in 0..l {
+                    let v = al * self.vecs[a.0][k] + be * self.vecs[b.0][k];
+                    self.vecs[dst.0][k] = v;
+                }
+                self.bump(dst);
+                Ok(self.config.vector_cycles(l))
+            }
+            Instr::EwMul { dst, a, b } => {
+                let l = self.binary_lengths("ew_mul", dst, a, b)?;
+                for k in 0..l {
+                    self.vecs[dst.0][k] = self.vecs[a.0][k] * self.vecs[b.0][k];
+                }
+                self.bump(dst);
+                Ok(self.config.vector_cycles(l))
+            }
+            Instr::EwMax { dst, a, b } => {
+                let l = self.binary_lengths("ew_max", dst, a, b)?;
+                for k in 0..l {
+                    self.vecs[dst.0][k] = self.vecs[a.0][k].max(self.vecs[b.0][k]);
+                }
+                self.bump(dst);
+                Ok(self.config.vector_cycles(l))
+            }
+            Instr::EwMin { dst, a, b } => {
+                let l = self.binary_lengths("ew_min", dst, a, b)?;
+                for k in 0..l {
+                    self.vecs[dst.0][k] = self.vecs[a.0][k].min(self.vecs[b.0][k]);
+                }
+                self.bump(dst);
+                Ok(self.config.vector_cycles(l))
+            }
+            Instr::Dot { dst, a, b } => {
+                self.check_vec(a)?;
+                self.check_vec(b)?;
+                self.check_sreg(dst)?;
+                let (va, vb) = (&self.vecs[a.0], &self.vecs[b.0]);
+                if va.len() != vb.len() {
+                    return Err(ArchError::LengthMismatch {
+                        instr: "dot".into(),
+                        expected: va.len(),
+                        found: vb.len(),
+                    });
+                }
+                let l = va.len();
+                self.sregs[dst.0] = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+                self.round_scalar(dst);
+                Ok(self.config.vector_cycles(l) + cost.dot_drain)
+            }
+            Instr::Duplicate { vec, matrix } => {
+                self.check_vec(vec)?;
+                self.check_matrix(matrix)?;
+                let unit = &self.matrices[matrix.0];
+                if self.vecs[vec.0].len() != unit.csr.ncols() {
+                    return Err(ArchError::LengthMismatch {
+                        instr: "duplicate".into(),
+                        expected: unit.csr.ncols(),
+                        found: self.vecs[vec.0].len(),
+                    });
+                }
+                let version = self.vec_versions[vec.0];
+                let cycles = cost.dup_latency + unit.layout.update_cycles() as u64;
+                self.matrices[matrix.0].cvb = Some((vec, version));
+                Ok(cycles)
+            }
+            Instr::Spmv { matrix, input, output } => {
+                self.check_matrix(matrix)?;
+                self.check_vec(input)?;
+                self.check_vec(output)?;
+                let unit = &self.matrices[matrix.0];
+                match unit.cvb {
+                    Some((v, ver)) if v == input && ver == self.vec_versions[input.0] => {}
+                    _ => return Err(ArchError::StaleCvb { matrix: matrix.0 }),
+                }
+                if self.vecs[output.0].len() != unit.csr.nrows() {
+                    return Err(ArchError::LengthMismatch {
+                        instr: "spmv output".into(),
+                        expected: unit.csr.nrows(),
+                        found: self.vecs[output.0].len(),
+                    });
+                }
+                let result = if self.lane_exact {
+                    spmv_via_datapath(unit, self.config.set(), &self.vecs[input.0])
+                } else {
+                    let mut y = vec![0.0; unit.csr.nrows()];
+                    unit.csr
+                        .spmv(&self.vecs[input.0], &mut y)
+                        .expect("lengths checked above");
+                    y
+                };
+                let cycles = cost.spmv_latency + unit.schedule.cycles() as u64;
+                self.vecs[output.0] = result;
+                self.bump(output);
+                Ok(cycles)
+            }
+        }
+    }
+
+    fn bump(&mut self, id: VecId) {
+        if self.config.single_precision() {
+            for v in &mut self.vecs[id.0] {
+                *v = *v as f32 as f64;
+            }
+        }
+        self.vec_versions[id.0] += 1;
+    }
+
+    fn round_scalar(&mut self, id: SReg) {
+        if self.config.single_precision() {
+            self.sregs[id.0] = self.sregs[id.0] as f32 as f64;
+        }
+    }
+
+    fn check_vec(&self, id: VecId) -> Result<(), ArchError> {
+        if id.0 >= self.vecs.len() {
+            return Err(ArchError::BadRegister(format!("vector v{}", id.0)));
+        }
+        Ok(())
+    }
+
+    fn check_sreg(&self, id: SReg) -> Result<(), ArchError> {
+        if id.0 >= self.sregs.len() {
+            return Err(ArchError::BadRegister(format!("scalar s{}", id.0)));
+        }
+        Ok(())
+    }
+
+    fn check_matrix(&self, id: MatrixId) -> Result<(), ArchError> {
+        if id.0 >= self.matrices.len() {
+            return Err(ArchError::BadRegister(format!("matrix m{}", id.0)));
+        }
+        Ok(())
+    }
+
+    fn binary_lengths(&self, name: &str, dst: VecId, a: VecId, b: VecId) -> Result<usize, ArchError> {
+        self.check_vec(dst)?;
+        self.check_vec(a)?;
+        self.check_vec(b)?;
+        let l = self.vecs[dst.0].len();
+        for v in [a, b] {
+            if self.vecs[v.0].len() != l {
+                return Err(ArchError::LengthMismatch {
+                    instr: name.into(),
+                    expected: l,
+                    found: self.vecs[v.0].len(),
+                });
+            }
+        }
+        Ok(l)
+    }
+}
+
+/// Lane-exact SpMV: walks the pack schedule slot by slot, fetching each
+/// operand through the CVB bank translation (asserting the translation is
+/// sound), multiplying lane-wise, and reducing per slot — the computation
+/// the customized MAC tree performs, including the `$`-chunk partial-sum
+/// accumulation.
+fn spmv_via_datapath(
+    unit: &MatrixUnit,
+    set: &rsqp_encode::StructureSet,
+    x: &[f64],
+) -> Vec<f64> {
+    let banks = unit.layout.bank_contents(&unit.access);
+    let mut y = vec![0.0; unit.csr.nrows()];
+    // Rows split across packs ($ chunks) accumulate partial sums into y —
+    // the acc_complete/FADD path of the paper's Figure 5.
+    for pack in unit.schedule.packs() {
+        let st = &set.structures()[pack.structure];
+        let offsets = st.slot_offsets();
+        for (slot, &lane0) in offsets.iter().enumerate().take(pack.len) {
+            let src = unit.string.sources()[pack.pos + slot];
+            let (cols, vals) = unit.csr.row(src.row);
+            let mut acc = 0.0;
+            for t in 0..src.count {
+                let j = cols[src.offset + t];
+                let lane = lane0 + t;
+                // Fetch through the CVB index translation.
+                let addr = unit
+                    .layout
+                    .addr_of(j)
+                    .expect("accessed element must be stored") as usize;
+                let served = banks[lane][addr].expect("bank must serve this element");
+                assert_eq!(served, j, "CVB translation fetched the wrong element");
+                acc += vals[src.offset + t] * x[served];
+            }
+            y[src.row] += acc;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn machine4() -> Machine {
+        Machine::new(ArchConfig::baseline(4))
+    }
+
+    #[test]
+    fn vector_ops_compute_and_cost() {
+        let mut m = machine4();
+        let a = m.alloc_vec(8);
+        let b = m.alloc_vec(8);
+        let d = m.alloc_vec(8);
+        let s1 = m.alloc_scalar();
+        let s2 = m.alloc_scalar();
+        m.write_vec(a, &[1.0; 8]);
+        m.write_vec(b, &[2.0; 8]);
+        m.write_scalar(s1, 3.0);
+        m.write_scalar(s2, -1.0);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Lincomb { dst: d, alpha: s1, a, beta: s2, b });
+        let p = pb.build().unwrap();
+        m.run(&p).unwrap();
+        assert_eq!(m.read_vec(d), &[1.0; 8]);
+        // 8 elements at C=4 -> 2 streaming cycles + latency.
+        let lat = default_vector_latency();
+        assert_eq!(m.stats().cycles, lat + 2);
+        assert_eq!(m.stats().breakdown.vector, lat + 2);
+    }
+
+    fn default_vector_latency() -> u64 {
+        crate::CostModel::default().vector_latency
+    }
+
+    #[test]
+    fn dot_product_and_scalar_ops() {
+        let mut m = machine4();
+        let a = m.alloc_vec(4);
+        let b = m.alloc_vec(4);
+        let s = m.alloc_scalar();
+        let t = m.alloc_scalar();
+        let u = m.alloc_scalar();
+        m.write_vec(a, &[1.0, 2.0, 3.0, 4.0]);
+        m.write_vec(b, &[1.0, 1.0, 1.0, 1.0]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Dot { dst: s, a, b });
+        pb.push(Instr::SetScalar { dst: t, value: 2.0 });
+        pb.push(Instr::Scalar { op: ScalarOp::Div, dst: u, a: s, b: t });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.read_scalar(s), 10.0);
+        assert_eq!(m.read_scalar(u), 5.0);
+        assert!(m.stats().breakdown.scalar > 0);
+    }
+
+    #[test]
+    fn spmv_requires_duplicate_first() {
+        let mut m = machine4();
+        let mat = m.add_matrix(&CsrMatrix::identity(4));
+        let x = m.alloc_vec(4);
+        let y = m.alloc_vec(4);
+        m.write_vec(x, &[1.0, 2.0, 3.0, 4.0]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Spmv { matrix: mat, input: x, output: y });
+        let err = m.run(&pb.build().unwrap());
+        assert!(matches!(err, Err(ArchError::StaleCvb { .. })));
+    }
+
+    #[test]
+    fn spmv_after_duplicate_computes() {
+        let mut m = machine4();
+        let csr = CsrMatrix::from_dense(&[vec![1.0, 2.0], vec![0.0, 3.0]]);
+        let mat = m.add_matrix(&csr);
+        let x = m.alloc_vec(2);
+        let y = m.alloc_vec(2);
+        m.write_vec(x, &[1.0, 1.0]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Duplicate { vec: x, matrix: mat });
+        pb.push(Instr::Spmv { matrix: mat, input: x, output: y });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.read_vec(y), &[3.0, 3.0]);
+        assert!(m.stats().breakdown.spmv > 0);
+        assert!(m.stats().breakdown.duplication > 0);
+    }
+
+    #[test]
+    fn stale_cvb_detected_after_input_rewrite() {
+        let mut m = machine4();
+        let mat = m.add_matrix(&CsrMatrix::identity(2));
+        let x = m.alloc_vec(2);
+        let y = m.alloc_vec(2);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Duplicate { vec: x, matrix: mat });
+        pb.push(Instr::Spmv { matrix: mat, input: x, output: y });
+        let p = pb.build().unwrap();
+        m.write_vec(x, &[1.0, 2.0]);
+        m.run(&p).unwrap();
+        // Rewriting x invalidates the CVB contents.
+        m.write_vec(x, &[3.0, 4.0]);
+        let mut pb2 = ProgramBuilder::new();
+        pb2.push(Instr::Spmv { matrix: mat, input: x, output: y });
+        assert!(matches!(
+            m.run(&pb2.build().unwrap()),
+            Err(ArchError::StaleCvb { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_executes_until_condition() {
+        let mut m = machine4();
+        let acc = m.alloc_scalar();
+        let one = m.alloc_scalar();
+        let limit = m.alloc_scalar();
+        m.write_scalar(one, 1.0);
+        m.write_scalar(limit, 5.5);
+        let mut pb = ProgramBuilder::new();
+        pb.loop_start();
+        pb.push(Instr::Scalar { op: ScalarOp::Add, dst: acc, a: acc, b: one });
+        // exit when limit < acc  (i.e. acc > 5.5 -> 6 trips)
+        pb.loop_end_if_less(limit, acc);
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.read_scalar(acc), 6.0);
+        assert_eq!(m.stats().loop_trips, 5);
+    }
+
+    #[test]
+    fn loop_cap_errors() {
+        let mut m = machine4();
+        let a = m.alloc_scalar();
+        let b = m.alloc_scalar();
+        m.write_scalar(a, 1.0); // never < b = 0
+        let mut pb = ProgramBuilder::new();
+        pb.loop_start();
+        pb.push(Instr::SetScalar { dst: b, value: 0.0 });
+        pb.loop_end_if_less(a, b);
+        pb.max_trips(3);
+        assert!(matches!(
+            m.run(&pb.build().unwrap()),
+            Err(ArchError::LoopCapReached { cap: 3 })
+        ));
+    }
+
+    #[test]
+    fn length_mismatches_are_reported() {
+        let mut m = machine4();
+        let a = m.alloc_vec(4);
+        let b = m.alloc_vec(3);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::EwMul { dst: a, a, b });
+        assert!(matches!(
+            m.run(&pb.build().unwrap()),
+            Err(ArchError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_ops_compute_clamp() {
+        let mut m = machine4();
+        let x = m.alloc_vec(4);
+        let lo = m.alloc_vec(4);
+        let hi = m.alloc_vec(4);
+        m.write_vec(x, &[-5.0, 0.5, 5.0, 2.0]);
+        m.write_vec(lo, &[0.0; 4]);
+        m.write_vec(hi, &[1.0; 4]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::EwMax { dst: x, a: x, b: lo });
+        pb.push(Instr::EwMin { dst: x, a: x, b: hi });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.read_vec(x), &[0.0, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn transfer_instructions_cost_cycles() {
+        let mut m = machine4();
+        let x = m.alloc_vec(16);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        pb.push(Instr::StoreHbm { vec: x });
+        m.run(&pb.build().unwrap()).unwrap();
+        let per = crate::CostModel::default().transfer_latency + 4;
+        assert_eq!(m.stats().breakdown.transfer, 2 * per);
+    }
+
+    #[test]
+    fn bad_registers_error() {
+        let mut m = machine4();
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: VecId(9) });
+        assert!(matches!(
+            m.run(&pb.build().unwrap()),
+            Err(ArchError::BadRegister(_))
+        ));
+    }
+}

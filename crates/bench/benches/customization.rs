@@ -1,0 +1,53 @@
+//! Benchmarks of the customization pipeline itself: string encoding, LZW
+//! structure search, greedy vs DP scheduling (the ablation), and First-Fit
+//! CVB compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsqp_cvb::{first_fit, AccessMatrix};
+use rsqp_encode::{dp_schedule, greedy_schedule, search_structures, SparsityString};
+use rsqp_problems::{generate, Domain};
+
+fn bench_encode_and_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure_search");
+    group.sample_size(10);
+    for size in [6usize, 16] {
+        let qp = generate(Domain::Svm, size, 1);
+        let a = qp.a();
+        group.bench_with_input(BenchmarkId::new("encode", a.nnz()), a, |b, a| {
+            b.iter(|| SparsityString::encode(a, 32));
+        });
+        let s = SparsityString::encode(a, 32);
+        group.bench_with_input(BenchmarkId::new("lzw_search", a.nnz()), &s, |b, s| {
+            b.iter(|| search_structures(s, 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_greedy_vs_dp");
+    group.sample_size(10);
+    let qp = generate(Domain::Lasso, 12, 1);
+    let a = qp.a();
+    let s = SparsityString::encode(a, 32);
+    let set = search_structures(&s, 4);
+    group.bench_function("greedy", |b| b.iter(|| greedy_schedule(&s, &set)));
+    group.bench_function("dp_optimal", |b| b.iter(|| dp_schedule(&s, &set)));
+    group.finish();
+}
+
+fn bench_first_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cvb_first_fit");
+    group.sample_size(10);
+    let qp = generate(Domain::Portfolio, 2, 1);
+    let a = qp.a();
+    let s = SparsityString::encode(a, 32);
+    let set = search_structures(&s, 4);
+    let sched = greedy_schedule(&s, &set);
+    let v = AccessMatrix::from_schedule(&sched, &s, a, &set);
+    group.bench_function("first_fit", |b| b.iter(|| first_fit(&v)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode_and_search, bench_schedulers, bench_first_fit);
+criterion_main!(benches);

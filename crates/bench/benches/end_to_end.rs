@@ -1,0 +1,41 @@
+//! End-to-end solver benchmarks: one small problem per domain on the three
+//! backends (direct LDLT, CPU PCG, simulated FPGA).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsqp_bench::solve_fpga;
+use rsqp_core::customize;
+use rsqp_problems::{generate, Domain};
+use rsqp_solver::{LinSysKind, Settings, Solver};
+
+fn settings(kind: LinSysKind) -> Settings {
+    Settings { linsys: kind, eps_abs: 1e-3, eps_rel: 1e-3, ..Default::default() }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve_end_to_end");
+    group.sample_size(10);
+    for (domain, size) in [(Domain::Control, 4), (Domain::Svm, 4), (Domain::Lasso, 5)] {
+        let qp = generate(domain, size, 1);
+        let nnz = qp.total_nnz();
+        group.bench_function(BenchmarkId::new("ldlt", format!("{domain}_{nnz}")), |b| {
+            b.iter(|| {
+                let mut s = Solver::new(&qp, settings(LinSysKind::DirectLdlt)).unwrap();
+                s.solve().unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("cpu_pcg", format!("{domain}_{nnz}")), |b| {
+            b.iter(|| {
+                let mut s = Solver::new(&qp, settings(LinSysKind::CpuPcg)).unwrap();
+                s.solve().unwrap()
+            });
+        });
+        let custom = customize(&qp, 16, 4);
+        group.bench_function(BenchmarkId::new("fpga_sim", format!("{domain}_{nnz}")), |b| {
+            b.iter(|| solve_fpga(&qp, &custom.config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: the |S|_target sweep of Eq. (4) — more MAC-tree structures
+//! lower E_p but cost area and (via routing pressure) f_max. This is the
+//! trade-off Table 3 demonstrates with hand-picked points; here the LZW
+//! search walks it automatically.
+
+use rsqp_arch::{ArchConfig, ResourceModel};
+use rsqp_bench::{results_path, HarnessOptions};
+use rsqp_core::report::{fmt_f, Table};
+use rsqp_core::customize;
+use rsqp_problems::{generate, Domain};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let qp = generate(Domain::Svm, 110, opts.seed);
+    println!(
+        "Ablation: |S|_target sweep on {} (nnz = {}, C = {})\n",
+        qp.name(),
+        qp.total_nnz(),
+        opts.c
+    );
+    let model = ResourceModel;
+    let mut t = Table::new([
+        "s_target", "structures", "eta", "delta_eta", "fmax_mhz", "ff", "lut", "effective_spmv_per_us",
+    ]);
+    for target in 1..=6 {
+        let r = customize(&qp, opts.c, target);
+        let est = model.estimate(r.config.set());
+        let cycles: usize = r.matrices.iter().map(|m| m.cycles_custom).sum();
+        let spmv_rate = est.fmax_mhz / cycles as f64;
+        t.push([
+            target.to_string(),
+            r.notation(),
+            fmt_f(r.eta_custom),
+            fmt_f(r.eta_improvement()),
+            format!("{:.0}", est.fmax_mhz),
+            est.ff.to_string(),
+            est.lut.to_string(),
+            fmt_f(spmv_rate),
+        ]);
+    }
+    println!("{}", t.to_text());
+    println!("note: beyond the sweet spot, extra structures buy little E_p but");
+    println!("depress f_max — the diminishing returns the paper reports in §5.3.");
+    let path = results_path("ablation_starget.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+    let _ = ArchConfig::baseline(opts.c); // silence unused-import lint paths
+}

@@ -1,0 +1,16 @@
+//! Figure 7: number of non-zero values and decision variables of the
+//! benchmark problems.
+
+use rsqp_bench::{figures, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let t = figures::fig07(&suite);
+    println!("Figure 7: benchmark dimensions ({} problems)\n", suite.len());
+    println!("{}", t.to_text());
+    let path = results_path("fig07_benchmark.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,23 @@
+//! Figure 8: percentage of CPU solver time spent solving the KKT system.
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let measurements: Vec<_> = suite.iter().map(|bp| measure_problem(bp, &opts)).collect();
+    let t = figures::fig08(&measurements);
+    println!("Figure 8: share of CPU solver time in the KKT solve\n");
+    println!("{}", t.to_text());
+    println!(
+        "{}",
+        figures::summary(
+            "kkt share (%)",
+            measurements.iter().map(|m| 100.0 * m.cpu_kkt_fraction)
+        )
+    );
+    let path = results_path("fig08_kkt_fraction.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

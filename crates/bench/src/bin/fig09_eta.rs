@@ -1,0 +1,43 @@
+//! Figure 9: improvement of the match score η after problem-specific
+//! customization.
+
+use rsqp_bench::{figures, results_path, HarnessOptions};
+use rsqp_core::customize;
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    // Fig 9 needs only the customization pipeline, not solves.
+    let mut t = rsqp_core::report::Table::new([
+        "app", "name", "nnz", "eta_baseline", "eta_custom", "delta_eta", "structures",
+    ]);
+    let mut deltas = Vec::new();
+    for bp in &suite {
+        let r = customize(&bp.problem, opts.c, opts.s_target);
+        deltas.push((bp.domain.name(), r.eta_improvement()));
+        t.push([
+            bp.domain.name().to_string(),
+            bp.problem.name().to_string(),
+            bp.problem.total_nnz().to_string(),
+            rsqp_core::report::fmt_f(r.eta_baseline),
+            rsqp_core::report::fmt_f(r.eta_custom),
+            rsqp_core::report::fmt_f(r.eta_improvement()),
+            r.notation(),
+        ]);
+    }
+    println!("Figure 9: Δη after problem-specific customization\n");
+    println!("{}", t.to_text());
+    for domain in rsqp_problems::Domain::all() {
+        println!(
+            "{}",
+            figures::summary(
+                &format!("delta eta [{domain}]"),
+                deltas.iter().filter(|(d, _)| *d == domain.name()).map(|(_, v)| *v)
+            )
+        );
+    }
+    let path = results_path("fig09_eta.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,24 @@
+//! Figure 10: end-to-end solver speedup from problem-specific
+//! customization (baseline vs customized FPGA architecture).
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let measurements: Vec<_> = suite.iter().map(|bp| measure_problem(bp, &opts)).collect();
+    let t = figures::fig10(&measurements);
+    println!("Figure 10: solver speedup from architectural customization\n");
+    println!("{}", t.to_text());
+    println!(
+        "{}",
+        figures::summary(
+            "customization speedup",
+            measurements.iter().map(|m| m.customization_speedup())
+        )
+    );
+    let path = results_path("fig10_custom_speedup.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

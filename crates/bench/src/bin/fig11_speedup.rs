@@ -1,0 +1,31 @@
+//! Figure 11: end-to-end solver speedup over the CPU (MKL stand-in) of the
+//! GPU model, the baseline FPGA, and the customized FPGA.
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let measurements: Vec<_> = suite.iter().map(|bp| measure_problem(bp, &opts)).collect();
+    let t = figures::fig11(&measurements);
+    println!("Figure 11: end-to-end speedup over the CPU baseline\n");
+    println!("{}", t.to_text());
+    println!(
+        "{}",
+        figures::summary(
+            "fpga-custom speedup",
+            measurements.iter().map(|m| m.speedup_over_cpu(m.fpga_custom_time))
+        )
+    );
+    println!(
+        "{}",
+        figures::summary(
+            "gpu speedup",
+            measurements.iter().map(|m| m.speedup_over_cpu(m.gpu_time))
+        )
+    );
+    let path = results_path("fig11_speedup.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,17 @@
+//! Figure 12: absolute solver run time on CPU, GPU (modeled), and the
+//! customized FPGA (simulated).
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let measurements: Vec<_> = suite.iter().map(|bp| measure_problem(bp, &opts)).collect();
+    let t = figures::fig12(&measurements);
+    println!("Figure 12: solver run time (lower is better)\n");
+    println!("{}", t.to_text());
+    let path = results_path("fig12_runtime.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,28 @@
+//! Figure 13: power efficiency (instances per second per watt) of the FPGA
+//! and the GPU.
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    let measurements: Vec<_> = suite.iter().map(|bp| measure_problem(bp, &opts)).collect();
+    let t = figures::fig13(&measurements);
+    println!("Figure 13: power efficiency (throughput per watt)\n");
+    println!("{}", t.to_text());
+    println!(
+        "{}",
+        figures::summary(
+            "fpga advantage over gpu",
+            measurements.iter().map(|m| {
+                use rsqp_core::perf::{fpga::FPGA_POWER_W, power::throughput_per_watt};
+                throughput_per_watt(m.fpga_custom_time, FPGA_POWER_W)
+                    / throughput_per_watt(m.gpu_time, m.gpu_power_w)
+            })
+        )
+    );
+    let path = results_path("fig13_power.csv");
+    t.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

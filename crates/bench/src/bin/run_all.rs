@@ -1,0 +1,81 @@
+//! Runs the complete evaluation once and prints every figure/table from a
+//! single shared set of measurements (the cheapest way to regenerate the
+//! whole of §5; see `EXPERIMENTS.md`).
+
+use rsqp_bench::{figures, measure_problem, results_path, HarnessOptions};
+use rsqp_problems::suite_with_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    eprintln!("running with {opts:?} (pass --points 20 for the paper-scale sweep)");
+    let suite = suite_with_sizes(opts.seed, opts.points);
+    eprintln!("generated {} benchmark problems", suite.len());
+
+    let mut measurements = Vec::with_capacity(suite.len());
+    for (i, bp) in suite.iter().enumerate() {
+        eprintln!(
+            "[{}/{}] {} (nnz {})",
+            i + 1,
+            suite.len(),
+            bp.problem.name(),
+            bp.problem.total_nnz()
+        );
+        measurements.push(measure_problem(bp, &opts));
+    }
+
+    let outputs = [
+        ("fig07_benchmark.csv", figures::fig07(&suite)),
+        ("fig08_kkt_fraction.csv", figures::fig08(&measurements)),
+        ("fig09_eta.csv", figures::fig09(&measurements)),
+        ("fig10_custom_speedup.csv", figures::fig10(&measurements)),
+        ("fig11_speedup.csv", figures::fig11(&measurements)),
+        ("fig12_runtime.csv", figures::fig12(&measurements)),
+        ("fig13_power.csv", figures::fig13(&measurements)),
+    ];
+    for (name, table) in &outputs {
+        println!("==== {name} ====");
+        println!("{}", table.to_text());
+        table.write_csv(results_path(name)).expect("write csv");
+    }
+
+    println!("==== headline numbers ====");
+    println!(
+        "{}",
+        figures::summary(
+            "kkt share of CPU time (%)",
+            measurements.iter().map(|m| 100.0 * m.cpu_kkt_fraction)
+        )
+    );
+    println!(
+        "{}",
+        figures::summary(
+            "delta eta",
+            measurements.iter().map(|m| m.customization.eta_improvement())
+        )
+    );
+    println!(
+        "{}",
+        figures::summary(
+            "customization speedup (paper: 1.4-7.0x)",
+            measurements.iter().map(|m| m.customization_speedup())
+        )
+    );
+    println!(
+        "{}",
+        figures::summary(
+            "fpga-custom speedup over cpu (paper: up to 31.2x)",
+            measurements.iter().map(|m| m.speedup_over_cpu(m.fpga_custom_time))
+        )
+    );
+    println!(
+        "{}",
+        figures::summary(
+            "power-efficiency advantage over gpu (paper: up to 22.7x)",
+            measurements.iter().map(|m| {
+                use rsqp_core::perf::{fpga::FPGA_POWER_W, power::throughput_per_watt};
+                throughput_per_watt(m.fpga_custom_time, FPGA_POWER_W)
+                    / throughput_per_watt(m.gpu_time, m.gpu_power_w)
+            })
+        )
+    );
+}

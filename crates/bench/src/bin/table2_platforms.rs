@@ -1,0 +1,21 @@
+//! Table 2: platform details of the evaluation system.
+
+use rsqp_core::perf::platforms;
+use rsqp_core::report::Table;
+
+fn main() {
+    let mut t = Table::new(["device", "model", "peak throughput", "lithography", "tdp"]);
+    for p in platforms() {
+        t.push([
+            p.kind.to_string(),
+            p.model.to_string(),
+            format!("{} teraflops", p.peak_tflops),
+            format!("{} nm", p.lithography_nm),
+            format!("{} W", p.tdp_w),
+        ]);
+    }
+    println!("Table 2: platform details\n");
+    println!("{}", t.to_text());
+    println!("CPU numbers in this reproduction are measured on the host; GPU");
+    println!("and FPGA numbers come from the models documented in DESIGN.md.");
+}

@@ -1,0 +1,151 @@
+//! Table builders for each figure/table of the paper's evaluation.
+
+use rsqp_core::report::{fmt_f, fmt_secs, Table};
+use rsqp_problems::BenchmarkProblem;
+
+use crate::Measurement;
+
+/// Figure 7: benchmark dimensions (nnz vs number of decision variables).
+pub fn fig07(suite: &[BenchmarkProblem]) -> Table {
+    let mut t = Table::new(["app", "name", "size", "n", "m", "nnz"]);
+    for bp in suite {
+        t.push([
+            bp.domain.name().to_string(),
+            bp.problem.name().to_string(),
+            bp.size.to_string(),
+            bp.problem.num_vars().to_string(),
+            bp.problem.num_constraints().to_string(),
+            bp.problem.total_nnz().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 8: percentage of CPU solver time spent solving the KKT system.
+pub fn fig08(measurements: &[Measurement]) -> Table {
+    let mut t = Table::new(["app", "name", "nnz", "kkt_time_pct"]);
+    for m in measurements {
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            format!("{:.2}", 100.0 * m.cpu_kkt_fraction),
+        ]);
+    }
+    t
+}
+
+/// Figure 9: improvement of the match score η after customization.
+pub fn fig09(measurements: &[Measurement]) -> Table {
+    let mut t = Table::new(["app", "name", "nnz", "eta_baseline", "eta_custom", "delta_eta", "structures"]);
+    for m in measurements {
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            fmt_f(m.customization.eta_baseline),
+            fmt_f(m.customization.eta_custom),
+            fmt_f(m.customization.eta_improvement()),
+            m.customization.notation(),
+        ]);
+    }
+    t
+}
+
+/// Figure 10: end-to-end solver speedup of the customized over the baseline
+/// FPGA architecture.
+pub fn fig10(measurements: &[Measurement]) -> Table {
+    let mut t = Table::new(["app", "name", "nnz", "baseline_s", "customized_s", "speedup"]);
+    for m in measurements {
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            fmt_secs(m.fpga_base_time),
+            fmt_secs(m.fpga_custom_time),
+            fmt_f(m.customization_speedup()),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: end-to-end speedup over the CPU of the GPU, the baseline
+/// FPGA, and the customized FPGA.
+pub fn fig11(measurements: &[Measurement]) -> Table {
+    let mut t = Table::new([
+        "app",
+        "name",
+        "nnz",
+        "speedup_cuda",
+        "speedup_no_customization",
+        "speedup_customization",
+    ]);
+    for m in measurements {
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            fmt_f(m.speedup_over_cpu(m.gpu_time)),
+            fmt_f(m.speedup_over_cpu(m.fpga_base_time)),
+            fmt_f(m.speedup_over_cpu(m.fpga_custom_time)),
+        ]);
+    }
+    t
+}
+
+/// Figure 12: absolute solver run time on CPU, GPU, and customized FPGA.
+pub fn fig12(measurements: &[Measurement]) -> Table {
+    let mut t = Table::new(["app", "name", "nnz", "mkl_s", "cuda_s", "customization_s"]);
+    for m in measurements {
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            fmt_secs(m.cpu_time),
+            fmt_secs(m.gpu_time),
+            fmt_secs(m.fpga_custom_time),
+        ]);
+    }
+    t
+}
+
+/// Figure 13: power efficiency (instances per second per watt) of the FPGA
+/// and the GPU.
+pub fn fig13(measurements: &[Measurement]) -> Table {
+    use rsqp_core::perf::fpga::FPGA_POWER_W;
+    use rsqp_core::perf::power::throughput_per_watt;
+    let mut t = Table::new([
+        "app",
+        "name",
+        "nnz",
+        "fpga_throughput_per_w",
+        "gpu_throughput_per_w",
+        "fpga_advantage",
+    ]);
+    for m in measurements {
+        let f = throughput_per_watt(m.fpga_custom_time, FPGA_POWER_W);
+        let g = throughput_per_watt(m.gpu_time, m.gpu_power_w);
+        t.push([
+            m.domain.to_string(),
+            m.name.clone(),
+            m.nnz.to_string(),
+            fmt_f(f),
+            fmt_f(g),
+            fmt_f(if g > 0.0 { f / g } else { 0.0 }),
+        ]);
+    }
+    t
+}
+
+/// Summary statistics line used by several binaries: min/geomean/max of a
+/// positive-valued column.
+pub fn summary(label: &str, values: impl Iterator<Item = f64>) -> String {
+    let v: Vec<f64> = values.filter(|x| x.is_finite() && *x > 0.0).collect();
+    if v.is_empty() {
+        return format!("{label}: no data");
+    }
+    let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = v.iter().cloned().fold(0.0f64, f64::max);
+    let geo = (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    format!("{label}: min {min:.2}  geomean {geo:.2}  max {max:.2}  (n = {})", v.len())
+}

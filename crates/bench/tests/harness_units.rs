@@ -1,0 +1,63 @@
+//! Unit tests for the bench harness plumbing: figure tables are well formed
+//! and a full measurement record is internally consistent.
+
+use rsqp_bench::{figures, measure_problem, solve_cpu, solve_fpga, HarnessOptions};
+use rsqp_core::customize;
+use rsqp_problems::{small_suite, suite_with_sizes};
+
+#[test]
+fn fig07_table_covers_the_suite() {
+    let suite = suite_with_sizes(1, 2);
+    let t = figures::fig07(&suite);
+    assert_eq!(t.len(), suite.len());
+    let csv = t.to_csv();
+    assert!(csv.starts_with("app,name,size,n,m,nnz"));
+    for bp in &suite {
+        assert!(csv.contains(bp.problem.name()));
+    }
+}
+
+#[test]
+fn measurement_is_internally_consistent() {
+    let opts = HarnessOptions { points: 2, c: 16, s_target: 3, seed: 7 };
+    let bp = &small_suite(7)[0];
+    let m = measure_problem(bp, &opts);
+    assert_eq!(m.nnz, bp.problem.total_nnz());
+    assert!(m.cpu_time.as_nanos() > 0);
+    assert!(m.gpu_time.as_nanos() > 0);
+    assert!(m.fpga_base_time >= m.fpga_custom_time || m.customization_speedup() < 1.0 + 1e-9);
+    assert!((0.0..=1.0).contains(&m.cpu_kkt_fraction));
+    assert!(m.gpu_power_w >= 44.0 && m.gpu_power_w <= 126.0);
+    assert!(m.customization.eta_custom >= m.customization.eta_baseline);
+
+    // All figure builders accept the measurement.
+    for table in [
+        figures::fig08(std::slice::from_ref(&m)),
+        figures::fig09(std::slice::from_ref(&m)),
+        figures::fig10(std::slice::from_ref(&m)),
+        figures::fig11(std::slice::from_ref(&m)),
+        figures::fig12(std::slice::from_ref(&m)),
+        figures::fig13(std::slice::from_ref(&m)),
+    ] {
+        assert_eq!(table.len(), 1);
+    }
+}
+
+#[test]
+fn cpu_and_fpga_runners_agree_on_status() {
+    let bp = &small_suite(3)[2];
+    let cpu = solve_cpu(&bp.problem);
+    let custom = customize(&bp.problem, 16, 3);
+    let (fpga, time) = solve_fpga(&bp.problem, &custom.config);
+    assert_eq!(cpu.status, fpga.status);
+    assert!(time.as_secs_f64() > 0.0);
+}
+
+#[test]
+fn summary_formats_and_filters() {
+    let s = figures::summary("x", [1.0, 4.0, f64::NAN, -2.0].into_iter());
+    assert!(s.contains("geomean 2.00"));
+    assert!(s.contains("n = 2"));
+    let empty = figures::summary("y", std::iter::empty());
+    assert!(empty.contains("no data"));
+}

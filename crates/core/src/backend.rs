@@ -1,0 +1,207 @@
+//! The simulated-FPGA KKT backend.
+//!
+//! Implements [`rsqp_solver::KktBackend`] by executing the PCG kernel of
+//! Algorithm 2 on the cycle-level machine of `rsqp-arch`. The numerical
+//! results flowing back into the ADMM loop are the machine's — so the
+//! solver genuinely converges on simulated-accelerator arithmetic — and
+//! every solve advances the machine's cycle counters, which the performance
+//! model later converts to seconds via the f_max estimate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rsqp_arch::kernels::{admm_outer_cycles, build_pcg, PcgKernel};
+use rsqp_arch::{ArchConfig, Machine, MatrixId, RunStats};
+use rsqp_solver::{BackendStats, KktBackend, SolverError};
+use rsqp_sparse::CsrMatrix;
+
+/// A [`KktBackend`] backed by the simulated RSQP accelerator.
+pub struct FpgaPcgBackend {
+    machine: Rc<RefCell<Machine>>,
+    kernel: PcgKernel,
+    matrix_ids: (MatrixId, MatrixId, MatrixId),
+    a: CsrMatrix,
+    p_diag: Vec<f64>,
+    rho: Vec<f64>,
+    sigma: f64,
+    eps: f64,
+    stats: BackendStats,
+    outer_cycles_per_iter: u64,
+}
+
+impl std::fmt::Debug for FpgaPcgBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FpgaPcgBackend")
+            .field("c", &self.machine.borrow().config().c())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FpgaPcgBackend {
+    /// Builds the backend for the (scaled) problem matrices under the given
+    /// architecture configuration.
+    ///
+    /// Returns the backend plus a shared handle to the machine so harnesses
+    /// can read cycle statistics after the solve.
+    pub fn new(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        config: ArchConfig,
+        cg_eps: f64,
+        cg_max_iter: usize,
+    ) -> (Self, Rc<RefCell<Machine>>) {
+        let n = p.nrows();
+        let m = a.nrows();
+        let at = a.transpose();
+        let outer_cycles_per_iter = admm_outer_cycles(&config, n, m);
+        let mut machine = Machine::new(config);
+        let pid = machine.add_matrix(p);
+        let aid = machine.add_matrix(a);
+        let atid = machine.add_matrix(&at);
+        let matrix_ids = (pid, aid, atid);
+        let kernel = build_pcg(&mut machine, pid, aid, atid, n, m, cg_max_iter.max(1));
+        let mut backend = FpgaPcgBackend {
+            machine: Rc::new(RefCell::new(machine)),
+            kernel,
+            matrix_ids,
+            a: a.clone(),
+            p_diag: p.diagonal(),
+            rho: rho.to_vec(),
+            sigma,
+            eps: cg_eps,
+            stats: BackendStats::default(),
+            outer_cycles_per_iter,
+        };
+        backend.refresh_device_constants();
+        let handle = Rc::clone(&backend.machine);
+        (backend, handle)
+    }
+
+    /// Same as [`FpgaPcgBackend::new`] with the baseline architecture (used
+    /// for "no customization" comparisons at a given width).
+    pub fn baseline(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        c: usize,
+        cg_eps: f64,
+        cg_max_iter: usize,
+    ) -> (Self, Rc<RefCell<Machine>>) {
+        Self::new(p, a, sigma, rho, ArchConfig::baseline(c), cg_eps, cg_max_iter)
+    }
+
+    /// Analytic cycles per ADMM iteration spent in the outer vector updates
+    /// (Algorithm 1, lines 4–7) — added to the measured PCG cycles by the
+    /// performance model.
+    pub fn outer_cycles_per_iteration(&self) -> u64 {
+        self.outer_cycles_per_iter
+    }
+
+    /// Cumulative machine statistics.
+    pub fn machine_stats(&self) -> RunStats {
+        self.machine.borrow().stats()
+    }
+
+    fn refresh_device_constants(&mut self) {
+        // Jacobi inverse diagonal: diag(P) + σ + Σ ρ_i A_{i,·}².
+        let n = self.p_diag.len();
+        let mut diag = self.p_diag.clone();
+        for d in &mut diag {
+            *d += self.sigma;
+        }
+        for i in 0..self.a.nrows() {
+            let (cols, vals) = self.a.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                diag[j] += self.rho[i] * v * v;
+            }
+        }
+        let minv: Vec<f64> = diag
+            .iter()
+            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
+        debug_assert_eq!(minv.len(), n);
+        let mut machine = self.machine.borrow_mut();
+        machine.write_vec(self.kernel.minv, &minv);
+        machine.write_vec(self.kernel.rho_vec, &self.rho);
+        machine.write_scalar(self.kernel.sigma, self.sigma);
+        machine.write_scalar(self.kernel.eps, self.eps);
+        machine.write_scalar(self.kernel.eps_abs_sq, 1e-28);
+    }
+}
+
+impl KktBackend for FpgaPcgBackend {
+    fn name(&self) -> &str {
+        "fpga-pcg"
+    }
+
+    fn update_rho(&mut self, rho: &[f64]) -> Result<(), SolverError> {
+        if rho.len() != self.rho.len() {
+            return Err(SolverError::Backend("rho length changed".into()));
+        }
+        self.rho.copy_from_slice(rho);
+        // Rebuild the device preconditioner and the device ρ vector from
+        // the cached diag(P) and A (no structural work — the indirect
+        // method's cheap ρ update, §2.2).
+        self.refresh_device_constants();
+        Ok(())
+    }
+
+    fn set_cg_tolerance(&mut self, eps: f64) {
+        self.eps = eps;
+        self.machine.borrow_mut().write_scalar(self.kernel.eps, eps);
+    }
+
+    fn solve_kkt(
+        &mut self,
+        x: &[f64],
+        z: &[f64],
+        y: &[f64],
+        q: &[f64],
+        xtilde: &mut [f64],
+        ztilde: &mut [f64],
+    ) -> Result<(), SolverError> {
+        let mut machine = self.machine.borrow_mut();
+        machine.write_vec(self.kernel.x, x);
+        machine.write_vec(self.kernel.z, z);
+        machine.write_vec(self.kernel.y, y);
+        machine.write_vec(self.kernel.q, q);
+        let trips_before = machine.stats().loop_trips;
+        machine
+            .run(&self.kernel.program)
+            .map_err(|e| SolverError::Backend(format!("machine error: {e}")))?;
+        xtilde.copy_from_slice(machine.read_vec(self.kernel.x));
+        ztilde.copy_from_slice(machine.read_vec(self.kernel.ztilde));
+        self.stats.kkt_solves += 1;
+        let trips = machine.stats().loop_trips - trips_before;
+        self.stats.cg_iterations += trips as usize;
+        self.stats.spmv_evals += 3 * (trips as usize + 1) + 2;
+        Ok(())
+    }
+
+    fn update_matrices(
+        &mut self,
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        rho: &[f64],
+    ) -> Result<(), SolverError> {
+        {
+            let mut machine = self.machine.borrow_mut();
+            let (pid, aid, atid) = self.matrix_ids;
+            machine.update_matrix_values(pid, p);
+            machine.update_matrix_values(aid, a);
+            machine.update_matrix_values(atid, &a.transpose());
+        }
+        self.a = a.clone();
+        self.p_diag = p.diagonal();
+        self.rho.copy_from_slice(rho);
+        self.refresh_device_constants();
+        Ok(())
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+}

@@ -1,0 +1,86 @@
+//! The match score η of §3.6.
+
+/// The ingredients of the match score for one (matrix, input-vector) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtaParts {
+    /// Non-zeros of the matrix.
+    pub nnz: usize,
+    /// Length of the multiplicand vector.
+    pub l: usize,
+    /// Zero-padding overhead of the pack schedule.
+    pub ep: usize,
+    /// Extra-copy factor of the CVB layout (`1 ≤ E_c ≤ C`).
+    pub ec: f64,
+}
+
+impl EtaParts {
+    /// Ideal cycle count `(nnz + L)/C` numerator term.
+    pub fn ideal_work(&self) -> f64 {
+        (self.nnz + self.l) as f64
+    }
+
+    /// Realized work `(nnz + E_p + E_c·L)` denominator term.
+    pub fn real_work(&self) -> f64 {
+        self.nnz as f64 + self.ep as f64 + self.ec * self.l as f64
+    }
+}
+
+/// Match score `η = (nnz + L)/(nnz + E_p + E_c·L)` aggregated over one or
+/// more matrix/vector pairs (the paper's formula, summed over the SpMV
+/// workload `P`, `A`, `Aᵀ` of one PCG iteration).
+///
+/// Returns 1.0 for an empty workload. The result lies in `(0, 1]`.
+pub fn eta(parts: &[EtaParts]) -> f64 {
+    let ideal: f64 = parts.iter().map(EtaParts::ideal_work).sum();
+    let real: f64 = parts.iter().map(EtaParts::real_work).sum();
+    if real == 0.0 {
+        1.0
+    } else {
+        ideal / real
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let p = EtaParts { nnz: 100, l: 10, ep: 0, ec: 1.0 };
+        assert!((eta(&[p]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padding_and_copies_lower_the_score() {
+        let base = EtaParts { nnz: 100, l: 10, ep: 0, ec: 1.0 };
+        let padded = EtaParts { ep: 50, ..base };
+        let copied = EtaParts { ec: 4.0, ..base };
+        assert!(eta(&[padded]) < eta(&[base]));
+        assert!(eta(&[copied]) < eta(&[base]));
+        assert!(eta(&[padded]) > 0.0);
+    }
+
+    #[test]
+    fn aggregate_lies_between_components() {
+        let good = EtaParts { nnz: 100, l: 10, ep: 0, ec: 1.0 };
+        let bad = EtaParts { nnz: 100, l: 10, ep: 100, ec: 8.0 };
+        let agg = eta(&[good, bad]);
+        assert!(agg < eta(&[good]) && agg > eta(&[bad]));
+    }
+
+    #[test]
+    fn empty_workload_is_one() {
+        assert_eq!(eta(&[]), 1.0);
+    }
+
+    #[test]
+    fn matches_papers_baseline_formula() {
+        // Baseline: single-output tree -> E_p = C·len − nnz; full duplication
+        // -> E_c = C. For a diagonal matrix at C = 4: len = n rows, nnz = n,
+        // L = n: η = (n + n)/(n + (4n − n) + 4n) = 2/8 = 0.25.
+        let n = 32;
+        let c = 4;
+        let p = EtaParts { nnz: n, l: n, ep: c * n - n, ec: c as f64 };
+        assert!((eta(&[p]) - 0.25).abs() < 1e-12);
+    }
+}

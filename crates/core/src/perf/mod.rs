@@ -1,0 +1,71 @@
+//! Performance, power, and efficiency models for the three platforms of
+//! Table 2.
+//!
+//! * **CPU** (Intel i7-10700KF in the paper): *measured* — the Rust solver's
+//!   wall-clock stands in for OSQP+MKL; only the static platform data lives
+//!   here.
+//! * **GPU** (NVIDIA RTX 3070 running cuOSQP): *modeled* — a
+//!   launch-overhead + memory-roofline model (see [`gpu`]).
+//! * **FPGA** (AMD-Xilinx U50 running RSQP): *simulated* — cycles come from
+//!   the `rsqp-arch` machine, converted to seconds with the calibrated
+//!   f_max model (see [`fpga`]).
+
+pub mod fpga;
+pub mod gpu;
+pub mod power;
+
+/// Static description of one platform row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Device class ("FPGA", "CPU", "GPU").
+    pub kind: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Peak single-precision throughput in teraflops.
+    pub peak_tflops: f64,
+    /// Process node in nanometres.
+    pub lithography_nm: u32,
+    /// Thermal design power in watts.
+    pub tdp_w: u32,
+}
+
+/// The three platforms of the paper's Table 2.
+pub fn platforms() -> [Platform; 3] {
+    [
+        Platform {
+            kind: "FPGA",
+            model: "AMD-Xilinx U50",
+            peak_tflops: 0.3,
+            lithography_nm: 16,
+            tdp_w: 75,
+        },
+        Platform {
+            kind: "CPU",
+            model: "Intel i7-10700KF",
+            peak_tflops: 0.5,
+            lithography_nm: 14,
+            tdp_w: 125,
+        },
+        Platform {
+            kind: "GPU",
+            model: "NVIDIA RTX3070",
+            peak_tflops: 20.0,
+            lithography_nm: 8,
+            tdp_w: 220,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_platforms_match_paper() {
+        let p = platforms();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].model, "AMD-Xilinx U50");
+        assert_eq!(p[1].tdp_w, 125);
+        assert!((p[2].peak_tflops - 20.0).abs() < 1e-12);
+    }
+}

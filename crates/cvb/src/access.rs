@@ -1,0 +1,204 @@
+//! The lane-access matrix `V` of Eq. (5).
+
+use rsqp_encode::{Schedule, SparsityString, StructureSet};
+use rsqp_sparse::CsrMatrix;
+
+/// `V ∈ {0,1}^{L×C}`: `V[j][k] = 1` iff vector element `j` is read by
+/// multiplier lane `k` at some cycle of the schedule. Lanes are stored as a
+/// bitmask per element (`C ≤ 128`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessMatrix {
+    l: usize,
+    c: usize,
+    masks: Vec<u128>,
+}
+
+impl AccessMatrix {
+    /// Derives `V` from a pack schedule.
+    ///
+    /// For every firing, slot `k` of the structure occupies the lane range
+    /// `[slot_offset_k, slot_offset_k + width_k)`; the row chunk assigned to
+    /// the slot feeds its non-zeros to consecutive lanes from the slot
+    /// start, so element `cols[offset + t]` is read by lane
+    /// `slot_offset + t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `C > 128` or the schedule does not belong to
+    /// `(string, matrix, set)`.
+    pub fn from_schedule(
+        schedule: &Schedule,
+        string: &SparsityString,
+        matrix: &CsrMatrix,
+        set: &StructureSet,
+    ) -> Self {
+        let c = schedule.c();
+        assert!(c <= 128, "access masks support C <= 128, got {c}");
+        assert_eq!(c, string.alphabet().c(), "schedule/string width mismatch");
+        let l = matrix.ncols();
+        let mut masks = vec![0u128; l];
+        for pack in schedule.packs() {
+            let st = &set.structures()[pack.structure];
+            let offsets = st.slot_offsets();
+            for (slot, &lane0) in offsets.iter().enumerate() {
+                let pos = pack.pos + slot;
+                let src = string.sources()[pos];
+                let (cols, _) = matrix.row(src.row);
+                for t in 0..src.count {
+                    let lane = lane0 + t;
+                    debug_assert!(lane < c, "lane overflow");
+                    masks[cols[src.offset + t]] |= 1u128 << lane;
+                }
+            }
+        }
+        AccessMatrix { l, c, masks }
+    }
+
+    /// Builds directly from masks (tests and the exact solver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask uses lanes ≥ `c`.
+    pub fn from_masks(c: usize, masks: Vec<u128>) -> Self {
+        assert!(c <= 128, "access masks support C <= 128");
+        let limit = if c == 128 { u128::MAX } else { (1u128 << c) - 1 };
+        assert!(
+            masks.iter().all(|&m| m & !limit == 0),
+            "mask uses lanes beyond C"
+        );
+        AccessMatrix { l: masks.len(), c, masks }
+    }
+
+    /// Vector length `L`.
+    pub fn len(&self) -> usize {
+        self.l
+    }
+
+    /// True when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.l == 0
+    }
+
+    /// Datapath width `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Lane bitmask of element `j`.
+    pub fn mask(&self, j: usize) -> u128 {
+        self.masks[j]
+    }
+
+    /// Number of elements read by at least one lane.
+    pub fn num_accessed(&self) -> usize {
+        self.masks.iter().filter(|&&m| m != 0).count()
+    }
+
+    /// For each lane, how many distinct elements it reads; the maximum is a
+    /// lower bound on the number of compressed addresses.
+    pub fn lane_loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.c];
+        for &m in &self.masks {
+            let mut bits = m;
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                loads[k] += 1;
+                bits &= bits - 1;
+            }
+        }
+        loads
+    }
+
+    /// `max_k lane_loads[k]` — the compression lower bound.
+    pub fn min_addresses_bound(&self) -> usize {
+        self.lane_loads().into_iter().max().unwrap_or(0)
+    }
+
+    /// Total stored copies across banks (`Σ_j popcount(mask_j)`), the
+    /// memory footprint before compression of never-read elements.
+    pub fn total_copies(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_encode::{greedy_schedule, Alphabet, SparsityString, StructureSet};
+
+    #[test]
+    fn identity_matrix_single_lane_each() {
+        let m = CsrMatrix::identity(4);
+        let s = SparsityString::encode(&m, 4);
+        let set = StructureSet::parse("4a1c", Alphabet::new(4));
+        let sched = greedy_schedule(&s, &set);
+        assert_eq!(sched.cycles(), 1);
+        let v = AccessMatrix::from_schedule(&sched, &s, &m, &set);
+        assert_eq!(v.mask(0), 0b0001);
+        assert_eq!(v.mask(1), 0b0010);
+        assert_eq!(v.mask(2), 0b0100);
+        assert_eq!(v.mask(3), 0b1000);
+        assert_eq!(v.min_addresses_bound(), 1);
+        assert_eq!(v.total_copies(), 4);
+    }
+
+    #[test]
+    fn shared_column_accumulates_lanes() {
+        // Two rows both reading column 0, scheduled in the 'aa...' pattern:
+        // row 0 lane 0, row 1 lane 1 in the same firing.
+        let m = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0)]);
+        let s = SparsityString::encode(&m, 4);
+        let set = StructureSet::parse("2a1c", Alphabet::new(4));
+        let sched = greedy_schedule(&s, &set);
+        assert_eq!(sched.cycles(), 1);
+        let v = AccessMatrix::from_schedule(&sched, &s, &m, &set);
+        assert_eq!(v.mask(0).count_ones(), 2);
+        assert_eq!(v.mask(1), 0);
+        assert_eq!(v.num_accessed(), 1);
+    }
+
+    #[test]
+    fn baseline_schedule_uses_leading_lanes() {
+        // With the fallback-only set every row starts at lane 0.
+        let m = CsrMatrix::from_triplets(
+            3,
+            5,
+            vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 4, 1.0)],
+        );
+        let s = SparsityString::encode(&m, 4);
+        let set = StructureSet::baseline(Alphabet::new(4));
+        let sched = greedy_schedule(&s, &set);
+        let v = AccessMatrix::from_schedule(&sched, &s, &m, &set);
+        assert_eq!(v.mask(1), 0b01); // row 0 first nnz -> lane 0
+        assert_eq!(v.mask(2), 0b10); // row 0 second nnz -> lane 1
+        assert_eq!(v.mask(3), 0b01); // row 1 -> lane 0
+        assert_eq!(v.mask(4), 0b01);
+        assert_eq!(v.min_addresses_bound(), 3);
+    }
+
+    #[test]
+    fn long_rows_span_chunks() {
+        // 6-nnz row at C=4: chunk of 4 on lanes 0..3, remainder 2 on 0..1.
+        let m = CsrMatrix::from_triplets(1, 6, (0..6).map(|j| (0, j, 1.0)).collect::<Vec<_>>());
+        let s = SparsityString::encode(&m, 4);
+        let set = StructureSet::baseline(Alphabet::new(4));
+        let sched = greedy_schedule(&s, &set);
+        let v = AccessMatrix::from_schedule(&sched, &s, &m, &set);
+        assert_eq!(v.mask(0), 0b0001);
+        assert_eq!(v.mask(3), 0b1000);
+        assert_eq!(v.mask(4), 0b0001);
+        assert_eq!(v.mask(5), 0b0010);
+    }
+
+    #[test]
+    fn from_masks_validates_lanes() {
+        let v = AccessMatrix::from_masks(4, vec![0b1010, 0b0001]);
+        assert_eq!(v.lane_loads(), vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond C")]
+    fn from_masks_rejects_overflow() {
+        AccessMatrix::from_masks(2, vec![0b100]);
+    }
+}

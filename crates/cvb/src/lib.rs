@@ -1,0 +1,44 @@
+//! Compressed Vector Buffers (§3.4 and §4.3 of the RSQP paper).
+//!
+//! The SpMV engine reads `C` random vector locations per cycle, one per
+//! multiplier lane, but each on-chip buffer has a single read port. Storing
+//! `C` full copies of the vector (the baseline) makes the vector-duplication
+//! instruction cost `L` cycles per update (`E_c = C`). After the pack
+//! schedule is fixed, each lane only ever reads a *subset* of the vector, so
+//! the copies can be compressed: assign every vector element an address such
+//! that no two elements sharing an address are read by the same lane —
+//! exactly the MILP of Eq. (5). The MILP is intractable (the paper tried
+//! CVXPY and gave up at `C = 16`, `L = 500`), so, like the paper, we solve
+//! it with the First-Fit heuristic; a brute-force exact solver is included
+//! for tiny instances to bound First-Fit's gap in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use rsqp_sparse::CsrMatrix;
+//! use rsqp_encode::{SparsityString, StructureSet, greedy_schedule, Alphabet};
+//! use rsqp_cvb::{AccessMatrix, first_fit};
+//!
+//! let m = CsrMatrix::from_triplets(4, 4, vec![
+//!     (0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0),
+//! ]);
+//! let s = SparsityString::encode(&m, 4);
+//! let set = StructureSet::parse("4a1c", Alphabet::new(4));
+//! let schedule = greedy_schedule(&s, &set);
+//! let v = AccessMatrix::from_schedule(&schedule, &s, &m, &set);
+//! let layout = first_fit(&v);
+//! // Four elements, each read by exactly one lane: one address suffices.
+//! assert_eq!(layout.num_addresses(), 1);
+//! assert!(layout.verify(&v));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod exact;
+mod firstfit;
+
+pub use access::AccessMatrix;
+pub use exact::exact_min_addresses;
+pub use firstfit::{first_fit, CvbLayout};

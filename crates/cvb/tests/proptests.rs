@@ -1,0 +1,63 @@
+//! Property-based tests for CVB compression.
+
+use proptest::prelude::*;
+use rsqp_cvb::{first_fit, AccessMatrix, CvbLayout};
+
+fn arb_masks() -> impl Strategy<Value = (usize, Vec<u128>)> {
+    prop::sample::select(vec![2usize, 4, 8, 16]).prop_flat_map(|c| {
+        let limit = (1u128 << c) - 1;
+        (
+            Just(c),
+            prop::collection::vec((0u128..=u128::MAX).prop_map(move |m| m & limit), 0..60),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn first_fit_layouts_are_always_valid((c, masks) in arb_masks()) {
+        let v = AccessMatrix::from_masks(c, masks);
+        let layout = first_fit(&v);
+        prop_assert!(layout.verify(&v));
+        // Address count bounded below by the busiest lane and above by the
+        // number of accessed elements.
+        prop_assert!(layout.num_addresses() >= v.min_addresses_bound());
+        prop_assert!(layout.num_addresses() <= v.num_accessed());
+        // E_c lies in [0, C] (0 for empty, otherwise >= addresses*C/L).
+        prop_assert!(layout.ec() <= c as f64 + 1e-12);
+    }
+
+    #[test]
+    fn full_duplication_is_always_valid_and_never_better((c, masks) in arb_masks()) {
+        let v = AccessMatrix::from_masks(c, masks);
+        let full = CvbLayout::full_duplication(&v);
+        prop_assert!(full.verify(&v));
+        let ff = first_fit(&v);
+        prop_assert!(ff.num_addresses() <= full.num_addresses());
+    }
+
+    #[test]
+    fn bank_contents_serve_every_access((c, masks) in arb_masks()) {
+        let v = AccessMatrix::from_masks(c, masks.clone());
+        let layout = first_fit(&v);
+        let banks = layout.bank_contents(&v);
+        for (j, &m) in masks.iter().enumerate() {
+            let mut bits = m;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                let addr = layout.addr_of(j).expect("accessed element stored") as usize;
+                prop_assert_eq!(banks[lane][addr], Some(j));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    #[test]
+    fn lane_loads_sum_to_total_copies((c, masks) in arb_masks()) {
+        let v = AccessMatrix::from_masks(c, masks);
+        let loads = v.lane_loads();
+        prop_assert_eq!(loads.iter().sum::<usize>(), v.total_copies());
+    }
+}

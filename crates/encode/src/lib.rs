@@ -1,0 +1,58 @@
+//! Sparsity-string encoding and MAC-tree structure customization (§4.1–4.2
+//! of the RSQP paper).
+//!
+//! The paper describes a problem's sparsity structure as a string: each
+//! matrix row becomes a character according to `⌈log₂(nnz_row)⌉` (rows with
+//! ≤1 non-zero are `a`, ≤2 are `b`, ≤4 are `c`, … up to the datapath width
+//! `C`; longer rows are split into full-width `$` chunks plus a remainder).
+//! Frequent substrings of this string are computation patterns that a
+//! customized MAC reduction tree can finish in a single clock cycle.
+//!
+//! This crate implements the full pipeline:
+//!
+//! * [`Alphabet`] / [`SparsityString`] — the encoding itself, with
+//!   provenance back to matrix rows (needed downstream for the compressed
+//!   vector buffers),
+//! * [`MacStructure`] / [`StructureSet`] — customized MAC-tree input
+//!   partitions, with the paper's `64{8d4e1g}` notation,
+//! * [`greedy_schedule`] / [`dp_schedule`] — mapping the string onto a
+//!   structure set by string replacement (the paper's method) or by an
+//!   optimal dynamic program (our ablation),
+//! * [`LzwDictionary`] / [`search_structures`] — the dictionary-based
+//!   lossless-compression search for a good structure set under a size
+//!   budget `|S|_target` (Eq. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use rsqp_encode::{Alphabet, search_structures, dp_schedule, SparsityString};
+//! use rsqp_sparse::CsrMatrix;
+//!
+//! let m = CsrMatrix::from_triplets(4, 8, vec![
+//!     (0, 0, 1.0), (0, 1, 1.0),          // 2 nnz -> 'b'
+//!     (1, 2, 1.0), (1, 3, 1.0),          // 'b'
+//!     (2, 4, 1.0),                        // 'a'
+//!     (3, 5, 1.0),                        // 'a'
+//! ]);
+//! let s = SparsityString::encode(&m, 4);
+//! assert_eq!(s.to_string(), "bbaa");
+//! let set = search_structures(&s, 3);
+//! let schedule = dp_schedule(&s, &set);
+//! assert!(schedule.cycles() <= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+mod lzw;
+pub mod permute;
+mod schedule;
+mod search;
+mod structure;
+
+pub use alphabet::{Alphabet, PackSource, SparsityString, DOLLAR};
+pub use lzw::LzwDictionary;
+pub use schedule::{dp_schedule, greedy_schedule, Schedule, ScheduledPack};
+pub use search::{baseline_set, search_structures, search_structures_with_candidates};
+pub use structure::{MacStructure, StructureSet};

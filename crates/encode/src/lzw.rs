@@ -1,0 +1,141 @@
+//! LZW dictionary mining over sparsity strings (§4.2).
+//!
+//! Problem (4) — pick at most `|S|_target` structures minimizing the
+//! scheduled length — is combinatorial, so the paper "uses a method based on
+//! the dictionary-based lossless compression algorithm LZW to search for a
+//! candidate S". This module runs LZW over the string and reports the
+//! dictionary phrases together with how often the encoder actually emitted
+//! them; frequent long phrases are exactly the recurring computation
+//! patterns worth dedicating MAC-tree connections to.
+
+use std::collections::HashMap;
+
+use crate::{Alphabet, DOLLAR};
+
+/// The result of one LZW pass: dictionary phrases with emission counts.
+#[derive(Debug, Clone)]
+pub struct LzwDictionary {
+    phrases: HashMap<Vec<u8>, usize>,
+}
+
+impl LzwDictionary {
+    /// Runs LZW over `chars` and records, for every phrase the encoder
+    /// emits, how many times it was emitted.
+    pub fn build(chars: &[u8]) -> Self {
+        let mut dict: HashMap<Vec<u8>, ()> = HashMap::new();
+        let mut phrases: HashMap<Vec<u8>, usize> = HashMap::new();
+        // Single characters are implicitly in the dictionary.
+        let mut w: Vec<u8> = Vec::new();
+        for &ch in chars {
+            let mut wc = w.clone();
+            wc.push(ch);
+            let known = wc.len() == 1 || dict.contains_key(&wc);
+            if known {
+                w = wc;
+            } else {
+                *phrases.entry(w.clone()).or_insert(0) += 1;
+                dict.insert(wc, ());
+                w = vec![ch];
+            }
+        }
+        if !w.is_empty() {
+            *phrases.entry(w).or_insert(0) += 1;
+        }
+        LzwDictionary { phrases }
+    }
+
+    /// Number of distinct emitted phrases.
+    pub fn len(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// True when no phrase was emitted (empty input).
+    pub fn is_empty(&self) -> bool {
+        self.phrases.is_empty()
+    }
+
+    /// Emission count of a phrase (0 if never emitted).
+    pub fn count(&self, phrase: &[u8]) -> usize {
+        self.phrases.get(phrase).copied().unwrap_or(0)
+    }
+
+    /// Candidate MAC structures: phrases of ≥ 2 characters whose slot widths
+    /// fit the datapath (`Σ width ≤ C`, no `$`), ranked by estimated cycle
+    /// savings `count · (len − 1)`.
+    pub fn candidates(&self, alphabet: Alphabet, limit: usize) -> Vec<(Vec<u8>, usize)> {
+        let mut out: Vec<(Vec<u8>, usize)> = self
+            .phrases
+            .iter()
+            .filter(|(p, _)| {
+                p.len() >= 2
+                    && !p.contains(&DOLLAR)
+                    && p.iter().map(|&l| alphabet.width(l)).sum::<usize>() <= alphabet.c()
+            })
+            .map(|(p, &cnt)| {
+                let savings = cnt * (p.len() - 1);
+                (p.clone(), savings)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(limit);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_pattern_is_discovered() {
+        // "ab" repeated: LZW learns "ab", "ba", "aba", ... and emits
+        // multi-character phrases often.
+        let s: Vec<u8> = b"abababababababababababab".to_vec();
+        let d = LzwDictionary::build(&s);
+        assert!(!d.is_empty());
+        let cands = d.candidates(Alphabet::new(4), 10);
+        assert!(!cands.is_empty());
+        // Top candidate must be a substring of the repetition.
+        let top = std::str::from_utf8(&cands[0].0).unwrap().to_string();
+        assert!("abababab".contains(&top), "top candidate {top}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dictionary() {
+        let d = LzwDictionary::build(b"");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn counts_reflect_repetition() {
+        let many = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+        let d = LzwDictionary::build(many);
+        // "aa" must have been emitted at least once and 'a' phrases dominate.
+        let total: usize = (0..5)
+            .map(|k| d.count(&vec![b'a'; k + 1]))
+            .sum();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn candidates_respect_width_and_dollar_rules() {
+        let al = Alphabet::new(4);
+        // 'c' has width 4 at C=4, so "cc" (width 8) must be filtered out;
+        // anything with '$' too.
+        let s: Vec<u8> = b"cccccccc$c$c$c$c".to_vec();
+        let d = LzwDictionary::build(&s);
+        for (p, _) in d.candidates(al, 100) {
+            assert!(!p.contains(&DOLLAR));
+            let w: usize = p.iter().map(|&l| al.width(l)).sum();
+            assert!(w <= 4);
+        }
+    }
+
+    #[test]
+    fn candidate_limit_is_respected() {
+        let s: Vec<u8> = b"abbaabbaabbaabbaabba".to_vec();
+        let d = LzwDictionary::build(&s);
+        assert!(d.candidates(Alphabet::new(8), 2).len() <= 2);
+    }
+}

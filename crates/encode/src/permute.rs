@@ -1,0 +1,101 @@
+//! Problem-structure adaptation by row permutation (§4.4).
+//!
+//! The paper notes that rows of `A` can be permuted (with the bounds and
+//! duals permuted alongside) to create longer repeated substrings in the
+//! sparsity string, lowering the achievable `E_p` — but that the KKT
+//! symmetry constraint makes the net effect small. This module provides the
+//! permutation construction so the claim can be measured (see the
+//! `ablation_permute` harness).
+
+use rsqp_sparse::CsrMatrix;
+
+use crate::Alphabet;
+
+/// A permutation that stably groups rows by their sparsity-string character
+/// (rows with equal `⌈log₂ nnz⌉` buckets become contiguous). Grouped rows
+/// maximize homogeneous runs like `aaaa…`, the patterns the structure
+/// search exploits best.
+///
+/// Returns `perm` with new row `i` = old row `perm[i]`.
+pub fn bucket_sort_rows(m: &CsrMatrix, c: usize) -> Vec<usize> {
+    let alphabet = Alphabet::new(c);
+    let mut order: Vec<usize> = (0..m.nrows()).collect();
+    order.sort_by_key(|&i| {
+        let nnz = m.row_nnz(i);
+        if nnz == 0 {
+            // Empty rows sort first; they do not appear in the string.
+            0u8
+        } else if nnz > c {
+            // Long rows sort last ($ chunks).
+            u8::MAX
+        } else {
+            alphabet.letter_for(nnz)
+        }
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baseline_set, greedy_schedule, search_structures, SparsityString};
+
+    fn alternating_matrix() -> CsrMatrix {
+        // Rows alternate between 1 and 4 nnz: the unsorted string "adadad…"
+        // has no runs; sorting produces "aaa…ddd…".
+        let mut t = Vec::new();
+        for i in 0..40 {
+            let nnz = if i % 2 == 0 { 1 } else { 4 };
+            for j in 0..nnz {
+                t.push((i, j, 1.0));
+            }
+        }
+        CsrMatrix::from_triplets(40, 8, t)
+    }
+
+    #[test]
+    fn bucket_sort_groups_rows() {
+        let m = alternating_matrix();
+        let perm = bucket_sort_rows(&m, 8);
+        let sorted = m.permute_rows(&perm);
+        let s = SparsityString::encode(&sorted, 8);
+        let text = s.to_string();
+        // All 'a's come before all 'c's (4 nnz -> bucket c at C=8).
+        let first_c = text.find('c').unwrap();
+        let last_a = text.rfind('a').unwrap();
+        assert!(last_a < first_c, "{text}");
+    }
+
+    #[test]
+    fn sorting_can_reduce_ep() {
+        let m = alternating_matrix();
+        let c = 8;
+        let original = SparsityString::encode(&m, c);
+        let sorted = SparsityString::encode(&m.permute_rows(&bucket_sort_rows(&m, c)), c);
+        let set_orig = search_structures(&original, 3);
+        let set_sorted = search_structures(&sorted, 3);
+        let ep_orig = greedy_schedule(&original, &set_orig).ep();
+        let ep_sorted = greedy_schedule(&sorted, &set_sorted).ep();
+        assert!(ep_sorted <= ep_orig, "sorted {ep_sorted} vs original {ep_orig}");
+    }
+
+    #[test]
+    fn permutation_is_valid_and_baseline_invariant() {
+        let m = alternating_matrix();
+        let perm = bucket_sort_rows(&m, 8);
+        let mut check = perm.clone();
+        check.sort_unstable();
+        assert_eq!(check, (0..40).collect::<Vec<_>>());
+        // The baseline schedule (one char per cycle) is permutation
+        // invariant — permutation only helps customized sets.
+        let c = 8;
+        let base = baseline_set(Alphabet::new(c));
+        let a = greedy_schedule(&SparsityString::encode(&m, c), &base).cycles();
+        let b = greedy_schedule(
+            &SparsityString::encode(&m.permute_rows(&perm), c),
+            &base,
+        )
+        .cycles();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the encoding and scheduling layer.
+
+use proptest::prelude::*;
+use rsqp_encode::{
+    baseline_set, dp_schedule, greedy_schedule, search_structures, Alphabet, SparsityString,
+    StructureSet,
+};
+use rsqp_sparse::CsrMatrix;
+
+/// Strategy: a list of row populations and a width C.
+fn arb_rows_and_c() -> impl Strategy<Value = (Vec<usize>, usize)> {
+    (prop::collection::vec(1usize..40, 1..80), prop::sample::select(vec![4usize, 8, 16, 32]))
+}
+
+fn matrix_of(rows: &[usize]) -> CsrMatrix {
+    let ncols = 64;
+    let mut t = Vec::new();
+    for (i, &nnz) in rows.iter().enumerate() {
+        for j in 0..nnz {
+            t.push((i, j % ncols, 1.0));
+        }
+    }
+    // j % ncols may collide for nnz > ncols; pad columns wide enough.
+    let ncols = rows.iter().copied().max().unwrap_or(1).max(ncols);
+    let mut t2 = Vec::new();
+    for (i, &nnz) in rows.iter().enumerate() {
+        for j in 0..nnz {
+            t2.push((i, j, 1.0));
+        }
+    }
+    let _ = t;
+    CsrMatrix::from_triplets(rows.len(), ncols, t2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encoding_conserves_nnz((rows, c) in arb_rows_and_c()) {
+        let m = matrix_of(&rows);
+        let s = SparsityString::encode(&m, c);
+        prop_assert_eq!(s.nnz(), m.nnz());
+        // Provenance covers every non-zero exactly once.
+        let covered: usize = s.sources().iter().map(|p| p.count).sum();
+        prop_assert_eq!(covered, m.nnz());
+        // Character capacities dominate the chunk populations.
+        let al = s.alphabet();
+        for (ch, src) in s.chars().iter().zip(s.sources()) {
+            prop_assert!(src.count <= al.width(*ch));
+        }
+    }
+
+    #[test]
+    fn schedules_are_complete_and_ep_consistent((rows, c) in arb_rows_and_c()) {
+        let m = matrix_of(&rows);
+        let s = SparsityString::encode(&m, c);
+        let base = baseline_set(Alphabet::new(c));
+        for sched in [greedy_schedule(&s, &base), dp_schedule(&s, &base)] {
+            prop_assert!(sched.is_complete());
+            prop_assert_eq!(sched.ep(), c * sched.cycles() - m.nnz());
+            // Baseline: exactly one char per cycle.
+            prop_assert_eq!(sched.cycles(), s.len());
+        }
+    }
+
+    #[test]
+    fn dp_is_lower_bound_for_greedy((rows, c) in arb_rows_and_c(), target in 2usize..5) {
+        let m = matrix_of(&rows);
+        let s = SparsityString::encode(&m, c);
+        let set = search_structures(&s, target);
+        let g = greedy_schedule(&s, &set);
+        let d = dp_schedule(&s, &set);
+        prop_assert!(g.is_complete());
+        prop_assert!(d.is_complete());
+        prop_assert!(d.cycles() <= g.cycles());
+        // Any schedule needs at least ceil(nnz / C) cycles.
+        prop_assert!(d.cycles() >= m.nnz().div_ceil(c));
+    }
+
+    #[test]
+    fn search_never_worse_than_baseline((rows, c) in arb_rows_and_c()) {
+        let m = matrix_of(&rows);
+        let s = SparsityString::encode(&m, c);
+        let base_cycles = greedy_schedule(&s, &baseline_set(Alphabet::new(c))).cycles();
+        let set = search_structures(&s, 4);
+        let custom_cycles = greedy_schedule(&s, &set).cycles();
+        prop_assert!(custom_cycles <= base_cycles);
+    }
+
+    #[test]
+    fn structure_sets_roundtrip_notation(counts in prop::collection::vec(0usize..3, 3)) {
+        // Compose a homogeneous-run notation for C = 16 and reparse it.
+        let al = Alphabet::new(16);
+        let mut notation = String::new();
+        let widths = [(16usize, 'a'), (4, 'c'), (1, 'e')];
+        for (&n, &(k, ch)) in counts.iter().zip(widths.iter()) {
+            if n > 0 {
+                notation.push_str(&format!("{k}{ch}"));
+            }
+        }
+        notation.push_str("1e"); // always include fallback notation
+        let set = StructureSet::parse(&notation, al);
+        let shown = set.to_string();
+        let prefix_ok = shown.starts_with("16{");
+        prop_assert!(prefix_ok, "unexpected notation prefix");
+        // Reparse the inner notation and compare structure counts.
+        let inner = shown.trim_start_matches("16{").trim_end_matches('}');
+        let reparsed = StructureSet::parse(inner, al);
+        prop_assert_eq!(reparsed.len(), set.len());
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use rsqp_sparse::SparseError;
+
+/// Error type for factorization and KKT assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinsysError {
+    /// The input matrix is not upper triangular.
+    NotUpperTriangular,
+    /// Column `0` is missing its diagonal entry (LDLᵀ requires an explicit,
+    /// possibly zero-valued diagonal in every column).
+    MissingDiagonal(usize),
+    /// A zero pivot was encountered while factorizing column `0`; the matrix
+    /// is not quasi-definite.
+    ZeroPivot(usize),
+    /// Operand dimensions disagree.
+    Dimension(String),
+    /// An underlying sparse-matrix operation failed.
+    Sparse(SparseError),
+}
+
+impl fmt::Display for LinsysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinsysError::NotUpperTriangular => {
+                write!(f, "matrix must be upper triangular for LDLT factorization")
+            }
+            LinsysError::MissingDiagonal(j) => {
+                write!(f, "column {j} is missing an explicit diagonal entry")
+            }
+            LinsysError::ZeroPivot(j) => write!(f, "zero pivot in column {j}"),
+            LinsysError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            LinsysError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
+        }
+    }
+}
+
+impl Error for LinsysError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LinsysError::Sparse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for LinsysError {
+    fn from(e: SparseError) -> Self {
+        LinsysError::Sparse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_column() {
+        assert!(LinsysError::ZeroPivot(7).to_string().contains('7'));
+        assert!(LinsysError::MissingDiagonal(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn from_sparse_error_chains_source() {
+        use std::error::Error as _;
+        let e: LinsysError = SparseError::InvalidStructure("x".into()).into();
+        assert!(e.source().is_some());
+    }
+}

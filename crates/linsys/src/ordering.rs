@@ -1,0 +1,546 @@
+//! Fill-reducing orderings and symmetric permutations.
+//!
+//! OSQP pairs QDLDL with SuiteSparse AMD. We provide classical minimum
+//! degree with dense-row deferral ([`min_degree_ordering`], the closest
+//! simple relative of AMD), Reverse-Cuthill-McKee ([`rcm_ordering`]), and
+//! the natural ordering as a baseline, plus the [`SymmetricPermutation`]
+//! plumbing that applies an ordering to the KKT system while preserving
+//! O(nnz) numeric refresh for ρ updates.
+
+use rsqp_sparse::CscMatrix;
+
+/// Computes a Reverse-Cuthill-McKee ordering of the symmetric matrix whose
+/// upper triangle is `upper`.
+///
+/// Returns `perm` such that new index `i` corresponds to old index
+/// `perm[i]`. Disconnected components are each seeded from their
+/// minimum-degree vertex.
+///
+/// # Panics
+///
+/// Panics if `upper` is not square.
+pub fn rcm_ordering(upper: &CscMatrix) -> Vec<usize> {
+    let n = upper.ncols();
+    assert_eq!(upper.nrows(), n, "rcm_ordering requires a square matrix");
+    // Build a full (symmetric) adjacency list from the upper triangle.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let (rows, _) = upper.col(j);
+        for &i in rows {
+            if i != j {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Stable iteration over candidate seeds sorted by degree.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&v| degree[v]);
+    for &seed in &seeds {
+        if visited[seed] {
+            continue;
+        }
+        // BFS, visiting neighbours in increasing degree order.
+        visited[seed] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut nbrs: Vec<usize> =
+                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            nbrs.sort_by_key(|&u| degree[u]);
+            for u in nbrs {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Inverts a permutation: `inv[perm[i]] == i`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..perm.len()`.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let n = perm.len();
+    let mut inv = vec![usize::MAX; n];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < n && inv[p] == usize::MAX, "not a permutation");
+        inv[p] = i;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_sparse::CsrMatrix;
+
+    fn upper_of(dense: &[Vec<f64>]) -> CscMatrix {
+        CsrMatrix::from_dense(dense).upper_triangle().to_csc()
+    }
+
+    #[test]
+    fn rcm_is_a_permutation() {
+        // Path graph 0-1-2-3-4 given in scrambled labels.
+        let n = 5;
+        let edges = [(0usize, 3usize), (3, 1), (1, 4), (4, 2)];
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 1.0;
+        }
+        for &(a, b) in &edges {
+            dense[a][b] = 1.0;
+            dense[b][a] = 1.0;
+        }
+        let perm = rcm_ordering(&upper_of(&dense));
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_scrambled_path() {
+        // A path graph has bandwidth 1 under the RCM ordering.
+        let n = 9;
+        // scrambled path: vertices relabeled by i -> (4*i) % 9 (coprime)
+        let label = |i: usize| (4 * i) % n;
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 1.0;
+        }
+        for i in 0..n - 1 {
+            let (a, b) = (label(i), label(i + 1));
+            dense[a][b] = 1.0;
+            dense[b][a] = 1.0;
+        }
+        let perm = rcm_ordering(&upper_of(&dense));
+        let inv = inverse_permutation(&perm);
+        let mut bandwidth = 0usize;
+        for i in 0..n - 1 {
+            let (a, b) = (label(i), label(i + 1));
+            bandwidth = bandwidth.max(inv[a].abs_diff(inv[b]));
+        }
+        assert_eq!(bandwidth, 1, "perm {perm:?} did not linearize the path");
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_graphs() {
+        let n = 4;
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 1.0;
+        }
+        dense[0][1] = 1.0;
+        dense[1][0] = 1.0;
+        let perm = rcm_ordering(&upper_of(&dense));
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrip() {
+        let perm = vec![2, 0, 3, 1];
+        let inv = inverse_permutation(&perm);
+        for i in 0..perm.len() {
+            assert_eq!(inv[perm[i]], i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn inverse_of_non_permutation_panics() {
+        inverse_permutation(&[0, 0]);
+    }
+}
+
+/// Computes a minimum-degree ordering of the symmetric matrix whose upper
+/// triangle is `upper` — our stand-in for SuiteSparse AMD (see `DESIGN.md`).
+///
+/// Classical minimum degree on the elimination graph: repeatedly eliminate
+/// a vertex of smallest current degree and connect its neighbours into a
+/// clique. Vertices whose degree exceeds `dense_threshold(n)` are deferred
+/// to the end (AMD's dense-row handling), which keeps the clique formation
+/// from going quadratic on nearly-dense rows.
+///
+/// Returns `perm` such that new index `i` corresponds to old index
+/// `perm[i]`.
+///
+/// # Panics
+///
+/// Panics if `upper` is not square.
+pub fn min_degree_ordering(upper: &CscMatrix) -> Vec<usize> {
+    use std::collections::BTreeSet;
+
+    let n = upper.ncols();
+    assert_eq!(upper.nrows(), n, "min_degree_ordering requires a square matrix");
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for j in 0..n {
+        let (rows, _) = upper.col(j);
+        for &i in rows {
+            if i != j {
+                adj[i].insert(j);
+                adj[j].insert(i);
+            }
+        }
+    }
+    let dense_cap = dense_threshold(n);
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut deferred: Vec<usize> = Vec::new();
+
+    // Simple bucketed selection: scan for the minimum current degree.
+    // A binary heap with lazy invalidation avoids O(n^2) scans.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> =
+        (0..n).map(|v| std::cmp::Reverse((adj[v].len(), v))).collect();
+
+    while order.len() + deferred.len() < n {
+        let v = loop {
+            let Some(std::cmp::Reverse((deg, v))) = heap.pop() else {
+                // Heap exhausted by stale entries; fall back to a scan.
+                break (0..n)
+                    .filter(|&u| !eliminated[u])
+                    .min_by_key(|&u| adj[u].len())
+                    .expect("some vertex remains");
+            };
+            if eliminated[v] || deg != adj[v].len() {
+                continue; // stale heap entry
+            }
+            break v;
+        };
+        if adj[v].len() > dense_cap {
+            // Defer dense vertices: mark eliminated but order them last.
+            eliminated[v] = true;
+            deferred.push(v);
+            // Remove from neighbours without forming a clique (AMD treats
+            // dense rows as if eliminated last).
+            let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+            for &u in &nbrs {
+                adj[u].remove(&v);
+                heap.push(std::cmp::Reverse((adj[u].len(), u)));
+            }
+            adj[v].clear();
+            continue;
+        }
+        eliminated[v] = true;
+        order.push(v);
+        let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+        // Connect neighbours into a clique and drop v.
+        for (a_idx, &a) in nbrs.iter().enumerate() {
+            adj[a].remove(&v);
+            for &b in &nbrs[a_idx + 1..] {
+                adj[a].insert(b);
+                adj[b].insert(a);
+            }
+        }
+        for &u in &nbrs {
+            heap.push(std::cmp::Reverse((adj[u].len(), u)));
+        }
+        adj[v].clear();
+    }
+    deferred.sort_unstable();
+    order.extend(deferred);
+    order
+}
+
+fn dense_threshold(n: usize) -> usize {
+    // AMD uses ~10·sqrt(n); anything denser is deferred.
+    (10.0 * (n as f64).sqrt()).ceil() as usize + 16
+}
+
+/// A symmetric permutation of an upper-triangular matrix, with the data-slot
+/// mapping needed to refresh numeric values in place (for ρ updates that
+/// change values but not structure).
+#[derive(Debug, Clone)]
+pub struct SymmetricPermutation {
+    perm: Vec<usize>,
+    iperm: Vec<usize>,
+    mat: CscMatrix,
+    /// `src[k]` = index into the *original* data array whose value belongs
+    /// at permuted data slot `k`.
+    src: Vec<usize>,
+}
+
+impl SymmetricPermutation {
+    /// Builds `Pᵀ·M·P` (upper triangle) for the symmetric matrix whose
+    /// upper triangle is `upper`, where new index `i` = old `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` is not square or `perm` is not a permutation.
+    pub fn new(upper: &CscMatrix, perm: Vec<usize>) -> Self {
+        let n = upper.ncols();
+        assert_eq!(upper.nrows(), n, "symmetric permutation requires square input");
+        let iperm = inverse_permutation(&perm);
+        // Gather permuted triplets (upper) with their source data index.
+        let mut entries: Vec<(usize, usize, usize)> = Vec::with_capacity(upper.nnz());
+        let mut data_idx = 0usize;
+        for j in 0..n {
+            let (rows, _) = upper.col(j);
+            for &i in rows {
+                let (mut pi, mut pj) = (iperm[i], iperm[j]);
+                if pi > pj {
+                    std::mem::swap(&mut pi, &mut pj);
+                }
+                entries.push((pj, pi, data_idx));
+                data_idx += 1;
+            }
+        }
+        entries.sort_unstable();
+        let mut colptr = vec![0usize; n + 1];
+        let mut rowidx = Vec::with_capacity(entries.len());
+        let mut src = Vec::with_capacity(entries.len());
+        for &(pj, pi, d) in &entries {
+            colptr[pj + 1] += 1;
+            rowidx.push(pi);
+            src.push(d);
+        }
+        for j in 0..n {
+            colptr[j + 1] += colptr[j];
+        }
+        let data: Vec<f64> = src.iter().map(|&d| upper.data()[d]).collect();
+        let mat = CscMatrix::from_raw_parts(n, n, colptr, rowidx, data)
+            .expect("permutation of a valid matrix is valid");
+        SymmetricPermutation { perm, iperm, mat, src }
+    }
+
+    /// The permuted upper-triangular matrix.
+    pub fn matrix(&self) -> &CscMatrix {
+        &self.mat
+    }
+
+    /// The permutation (new → old).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Copies fresh numeric values from the (structurally identical)
+    /// original matrix into the permuted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` has a different nnz count than the original.
+    pub fn refresh_values(&mut self, upper: &CscMatrix) {
+        assert_eq!(upper.nnz(), self.src.len(), "structure changed");
+        let data = self.mat.data_mut();
+        for (k, &d) in self.src.iter().enumerate() {
+            data[k] = upper.data()[d];
+        }
+    }
+
+    /// Permutes a vector into the reordered space (`out[i] = v[perm[i]]`).
+    pub fn permute_vec(&self, v: &[f64]) -> Vec<f64> {
+        self.perm.iter().map(|&p| v[p]).collect()
+    }
+
+    /// Maps a reordered-space vector back (`out[perm[i]] = v[i]`).
+    pub fn unpermute_vec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; v.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = v[i];
+        }
+        out
+    }
+
+    /// In-place variant of [`Self::permute_vec`] using a scratch buffer.
+    pub fn permute_into(&self, v: &[f64], out: &mut [f64]) {
+        for (o, &p) in out.iter_mut().zip(&self.perm) {
+            *o = v[p];
+        }
+    }
+
+    /// In-place variant of [`Self::unpermute_vec`].
+    pub fn unpermute_into(&self, v: &[f64], out: &mut [f64]) {
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = v[i];
+        }
+    }
+
+    /// Inverse permutation (old → new).
+    pub fn iperm(&self) -> &[usize] {
+        &self.iperm
+    }
+}
+
+#[cfg(test)]
+mod md_tests {
+    use super::*;
+    use rsqp_sparse::CsrMatrix;
+
+    fn upper_of(dense: &[Vec<f64>]) -> CscMatrix {
+        CsrMatrix::from_dense(dense).upper_triangle().to_csc()
+    }
+
+    /// Arrow matrix with the dense row/column FIRST: natural ordering fills
+    /// in completely, minimum degree orders the hub last and gets zero fill.
+    fn bad_arrow(n: usize) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 4.0;
+            if i > 0 {
+                dense[0][i] = 1.0;
+                dense[i][0] = 1.0;
+            }
+        }
+        dense
+    }
+
+    fn fill_of(upper: &CscMatrix, perm: Option<Vec<usize>>) -> usize {
+        let mat = match perm {
+            Some(p) => SymmetricPermutation::new(upper, p).matrix().clone(),
+            None => upper.clone(),
+        };
+        crate::Ldlt::factor(&mat).expect("SPD input factors").l_nnz()
+    }
+
+    #[test]
+    fn min_degree_is_a_permutation() {
+        let u = upper_of(&bad_arrow(12));
+        let perm = min_degree_ordering(&u);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_degree_eliminates_arrow_fill() {
+        let n = 24;
+        let u = upper_of(&bad_arrow(n));
+        let natural = fill_of(&u, None);
+        let md = fill_of(&u, Some(min_degree_ordering(&u)));
+        // Natural: eliminating the hub first fills the whole matrix.
+        assert_eq!(natural, (n * (n - 1)) / 2);
+        // MD: hub eliminated last -> only the arrow edges remain.
+        assert_eq!(md, n - 1, "minimum degree should avoid all fill");
+    }
+
+    #[test]
+    fn min_degree_never_worse_than_natural_on_benchmarks() {
+        // Tridiagonal plus random long-range edges.
+        let n = 30;
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 6.0;
+            if i + 1 < n {
+                dense[i][i + 1] = 1.0;
+                dense[i + 1][i] = 1.0;
+            }
+            let far = (i * 7 + 3) % n;
+            if far != i {
+                dense[i][far] = 0.5;
+                dense[far][i] = 0.5;
+            }
+        }
+        let u = upper_of(&dense);
+        let natural = fill_of(&u, None);
+        let md = fill_of(&u, Some(min_degree_ordering(&u)));
+        assert!(md <= natural, "md {md} vs natural {natural}");
+    }
+
+    #[test]
+    fn symmetric_permutation_preserves_solutions() {
+        let n = 10;
+        let mut dense = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            dense[i][i] = 5.0 + i as f64;
+            if i + 2 < n {
+                dense[i][i + 2] = -1.0;
+                dense[i + 2][i] = -1.0;
+            }
+        }
+        let u = upper_of(&dense);
+        let perm = min_degree_ordering(&u);
+        let sp = SymmetricPermutation::new(&u, perm);
+        let f = crate::Ldlt::factor(sp.matrix()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let pb = sp.permute_vec(&b);
+        let px = f.solve(&pb);
+        let x = sp.unpermute_vec(&px);
+        // Check A x = b against the original dense matrix.
+        for i in 0..n {
+            let got: f64 = (0..n).map(|j| dense[i][j] * x[j]).sum();
+            assert!((got - b[i]).abs() < 1e-9, "row {i}: {got} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn refresh_values_tracks_source_matrix() {
+        let u = upper_of(&bad_arrow(6));
+        let perm = min_degree_ordering(&u);
+        let mut sp = SymmetricPermutation::new(&u, perm);
+        // Scale the original values and refresh.
+        let mut u2 = u.clone();
+        for v in u2.data_mut() {
+            *v *= 3.0;
+        }
+        sp.refresh_values(&u2);
+        let rebuilt = SymmetricPermutation::new(&u2, sp.perm().to_vec());
+        assert_eq!(sp.matrix(), rebuilt.matrix());
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let u = upper_of(&bad_arrow(5));
+        let sp = SymmetricPermutation::new(&u, vec![4, 2, 0, 1, 3]);
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(sp.unpermute_vec(&sp.permute_vec(&v)), v);
+        let mut buf = vec![0.0; 5];
+        sp.permute_into(&v, &mut buf);
+        assert_eq!(buf, sp.permute_vec(&v));
+        let mut back = vec![0.0; 5];
+        sp.unpermute_into(&buf, &mut back);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn star_hub_is_eliminated_near_the_end() {
+        // Star graph: the hub always has the largest degree, so minimum
+        // degree eliminates it among the last two vertices.
+        let n = 60;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i > 0 {
+                t.push((0, i, 1.0));
+                t.push((i, 0, 1.0));
+            }
+        }
+        let u = CsrMatrix::from_triplets(n, n, t).upper_triangle().to_csc();
+        let perm = min_degree_ordering(&u);
+        let hub_pos = perm.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= n - 2, "hub at position {hub_pos} of {n}");
+    }
+
+    #[test]
+    fn dense_clique_vertices_are_deferred() {
+        // A complete graph bigger than the dense threshold: every vertex is
+        // dense at pop time, so all are deferred and emitted in index order.
+        let n = 200;
+        let mut t = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                t.push((i, j, 1.0));
+            }
+        }
+        let u = CsrMatrix::from_triplets(n, n, t).upper_triangle().to_csc();
+        let perm = min_degree_ordering(&u);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        // Vertex 0 is popped first while dense, hence deferred to the tail.
+        let pos0 = perm.iter().position(|&v| v == 0).unwrap();
+        assert!(pos0 > n / 2, "vertex 0 should be deferred, found at {pos0}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Preconditioned Conjugate Gradient (Algorithm 2 of the RSQP paper).
+
+use rsqp_sparse::vec_ops;
+
+/// A symmetric positive-definite linear operator `y = K x`.
+///
+/// Implementors may maintain scratch space, hence `apply` takes `&mut self`.
+pub trait LinearOperator {
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+
+    /// Computes `y = K x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `y.len()` differ from
+    /// [`Self::dim`].
+    fn apply(&mut self, x: &[f64], y: &mut [f64]);
+
+    /// Diagonal of a preconditioner `M ≈ K` (not its inverse). `None`
+    /// disables preconditioning (`M = I`).
+    fn precond_diag(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Convergence and iteration-limit settings for [`pcg`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcgSettings {
+    /// Relative tolerance: iterate until `‖r‖₂ < eps·‖b‖₂` (Algorithm 2,
+    /// line 10).
+    pub eps: f64,
+    /// Absolute floor on the residual test, guarding `b ≈ 0`.
+    pub eps_abs: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for PcgSettings {
+    fn default() -> Self {
+        PcgSettings { eps: 1e-8, eps_abs: 1e-12, max_iter: 5000 }
+    }
+}
+
+/// Result of a PCG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcgResult {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Number of iterations performed (operator applications minus one).
+    pub iterations: usize,
+    /// Final residual 2-norm `‖K x − b‖₂`.
+    pub residual: f64,
+    /// Whether the tolerance was met within `max_iter`.
+    pub converged: bool,
+}
+
+/// Solves `K x = b` with the Preconditioned Conjugate Gradient method,
+/// warm-started at `x0`.
+///
+/// Implements Algorithm 2 of the paper with a diagonal (Jacobi)
+/// preconditioner taken from [`LinearOperator::precond_diag`].
+///
+/// # Panics
+///
+/// Panics if `b.len()` or `x0.len()` differ from `op.dim()`.
+pub fn pcg(
+    op: &mut dyn LinearOperator,
+    b: &[f64],
+    x0: &[f64],
+    settings: &PcgSettings,
+) -> PcgResult {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x0.len(), n, "warm-start length mismatch");
+
+    let minv: Option<Vec<f64>> = op.precond_diag().map(|d| {
+        d.iter()
+            .map(|&v| if v != 0.0 { 1.0 / v } else { 1.0 })
+            .collect()
+    });
+    let apply_precond = |r: &[f64], d: &mut [f64]| match &minv {
+        Some(mi) => vec_ops::ew_mul(r, mi, d),
+        None => d.copy_from_slice(r),
+    };
+
+    let norm_b = vec_ops::norm2(b);
+    let tol = (settings.eps * norm_b).max(settings.eps_abs);
+
+    let mut x = x0.to_vec();
+    let mut r = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut kp = vec![0.0; n];
+
+    // r0 = K x0 - b
+    op.apply(&x, &mut r);
+    vec_ops::axpy(-1.0, b, &mut r);
+    let mut res_norm = vec_ops::norm2(&r);
+    if res_norm <= tol {
+        return PcgResult { x, iterations: 0, residual: res_norm, converged: true };
+    }
+    // d0 = M^{-1} r0 ; p0 = -d0
+    apply_precond(&r, &mut d);
+    for (pi, &di) in p.iter_mut().zip(&d) {
+        *pi = -di;
+    }
+    let mut delta = vec_ops::dot(&r, &d);
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < settings.max_iter {
+        iterations += 1;
+        op.apply(&p, &mut kp);
+        let pkp = vec_ops::dot(&p, &kp);
+        if pkp <= 0.0 {
+            // Operator is not positive definite along p (numerical
+            // breakdown); stop with the current iterate.
+            break;
+        }
+        let lambda = delta / pkp;
+        vec_ops::axpy(lambda, &p, &mut x);
+        vec_ops::axpy(lambda, &kp, &mut r);
+        res_norm = vec_ops::norm2(&r);
+        if res_norm < tol {
+            converged = true;
+            break;
+        }
+        apply_precond(&r, &mut d);
+        let delta_new = vec_ops::dot(&r, &d);
+        let mu = delta_new / delta;
+        delta = delta_new;
+        for (pi, &di) in p.iter_mut().zip(&d) {
+            *pi = mu * *pi - di;
+        }
+    }
+    PcgResult { x, iterations, residual: res_norm, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_sparse::CsrMatrix;
+
+    struct MatOp {
+        m: CsrMatrix,
+    }
+
+    impl LinearOperator for MatOp {
+        fn dim(&self) -> usize {
+            self.m.nrows()
+        }
+        fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+            self.m.spmv(x, y).unwrap();
+        }
+        fn precond_diag(&self) -> Option<Vec<f64>> {
+            Some(self.m.diagonal())
+        }
+    }
+
+    fn spd_matrix(n: usize) -> CsrMatrix {
+        // Tridiagonal SPD: 2 on diagonal, -1 off diagonal, plus i on diag.
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + i as f64 * 0.1));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn solves_identity_in_one_iteration() {
+        let mut op = MatOp { m: CsrMatrix::identity(5) };
+        let b = vec![1.0, -2.0, 3.0, 0.5, 0.0];
+        let r = pcg(&mut op, &b, &[0.0; 5], &PcgSettings::default());
+        assert!(r.converged);
+        assert!(r.iterations <= 1);
+        for (xi, bi) in r.x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_tridiagonal_system() {
+        let n = 50;
+        let m = spd_matrix(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut b = vec![0.0; n];
+        m.spmv(&x_true, &mut b).unwrap();
+        let mut op = MatOp { m };
+        let r = pcg(&mut op, &b, &vec![0.0; n], &PcgSettings::default());
+        assert!(r.converged, "residual {}", r.residual);
+        for (got, want) in r.x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn warm_start_at_solution_converges_immediately() {
+        let n = 20;
+        let m = spd_matrix(n);
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut b = vec![0.0; n];
+        m.spmv(&x_true, &mut b).unwrap();
+        let mut op = MatOp { m };
+        let r = pcg(&mut op, &b, &x_true, &PcgSettings::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn zero_rhs_returns_immediately_from_zero() {
+        let mut op = MatOp { m: spd_matrix(4) };
+        let r = pcg(&mut op, &[0.0; 4], &[0.0; 4], &PcgSettings::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+        assert_eq!(r.x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let n = 100;
+        let m = spd_matrix(n);
+        let b = vec![1.0; n];
+        let mut op = MatOp { m };
+        let r = pcg(
+            &mut op,
+            &b,
+            &vec![0.0; n],
+            &PcgSettings { eps: 1e-14, eps_abs: 0.0, max_iter: 2 },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn preconditioning_speeds_up_ill_conditioned_systems() {
+        // Diagonal matrix with a huge condition number: Jacobi solves it in
+        // a single iteration, identity preconditioning needs many.
+        let n = 40;
+        let diag: Vec<f64> = (0..n).map(|i| 10f64.powi((i % 7) as i32)).collect();
+        struct NoPre(CsrMatrix);
+        impl LinearOperator for NoPre {
+            fn dim(&self) -> usize {
+                self.0.nrows()
+            }
+            fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+                self.0.spmv(x, y).unwrap();
+            }
+        }
+        let b = vec![1.0; n];
+        let settings = PcgSettings { eps: 1e-10, ..Default::default() };
+        let mut pre = MatOp { m: CsrMatrix::from_diag(&diag) };
+        let with = pcg(&mut pre, &b, &vec![0.0; n], &settings);
+        let mut nop = NoPre(CsrMatrix::from_diag(&diag));
+        let without = pcg(&mut nop, &b, &vec![0.0; n], &settings);
+        assert!(with.converged);
+        assert!(with.iterations < without.iterations);
+        assert!(with.iterations <= 2);
+    }
+}

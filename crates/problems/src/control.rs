@@ -1,0 +1,159 @@
+//! Linear model-predictive-control benchmark problem.
+//!
+//! Tracks the OSQP benchmark's MPC formulation: for a random linear system
+//! `x_{k+1} = A_d x_k + B_d u_k` with `nx` states and `nu = max(1, nx/2)`
+//! inputs over a horizon of `T = 10`, solve
+//!
+//! ```text
+//! minimize   Σ_{k=0}^{T-1} x_kᵀQx_k + u_kᵀRu_k  +  x_TᵀQ_T x_T
+//! subject to x_0 = x_init,  x_{k+1} = A_d x_k + B_d u_k,
+//!            |x_k| ≤ x_max,  |u_k| ≤ u_max
+//! ```
+//!
+//! stacked over the horizon. The constraint matrix has the banded block
+//! structure visible in Figure 2(g) of the paper.
+
+use rsqp_sparse::CooMatrix;
+use rsqp_solver::QpProblem;
+
+use crate::util::{dense_randn, randn, rng_for};
+
+/// Horizon length used by the benchmark.
+pub const HORIZON: usize = 10;
+
+/// Generates a control problem with `size` states.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size > 0, "control problem needs at least one state");
+    let nx = size;
+    let nu = (nx / 2).max(1);
+    let t = HORIZON;
+    let mut vrng = rng_for("control-values", size, seed);
+
+    // Random stable-ish dynamics.
+    let mut a_dyn = dense_randn(nx, nx, &mut vrng);
+    for (i, row) in a_dyn.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v *= 0.3 / (nx as f64).sqrt();
+            if i == j {
+                *v += 0.9;
+            }
+        }
+    }
+    let b_dyn = dense_randn(nx, nu, &mut vrng);
+
+    // Costs.
+    let q_diag: Vec<f64> = (0..nx).map(|_| 1.0 + 9.0 * rand_unit(&mut vrng)).collect();
+    let qt_diag: Vec<f64> = q_diag.iter().map(|v| 10.0 * v).collect();
+    let r_diag: Vec<f64> = vec![0.1; nu];
+    let x_init: Vec<f64> = (0..nx).map(|_| 0.5 * randn(&mut vrng)).collect();
+
+    let n = (t + 1) * nx + t * nu;
+    let m = (t + 1) * nx + n;
+    let x_off = |k: usize| k * nx;
+    let u_off = |k: usize| (t + 1) * nx + k * nu;
+
+    // Objective.
+    let mut p = CooMatrix::with_capacity(n, n, n);
+    for k in 0..t {
+        for i in 0..nx {
+            p.push(x_off(k) + i, x_off(k) + i, q_diag[i]);
+        }
+    }
+    for i in 0..nx {
+        p.push(x_off(t) + i, x_off(t) + i, qt_diag[i]);
+    }
+    for k in 0..t {
+        for i in 0..nu {
+            p.push(u_off(k) + i, u_off(k) + i, r_diag[i]);
+        }
+    }
+    let q = vec![0.0; n];
+
+    // Constraints: initial state, dynamics, then box bounds on everything.
+    let mut a = CooMatrix::with_capacity(m, n, (t + 1) * nx * (nx + nu) + n);
+    let mut l = Vec::with_capacity(m);
+    let mut u = Vec::with_capacity(m);
+    for i in 0..nx {
+        a.push(i, x_off(0) + i, 1.0);
+        l.push(x_init[i]);
+        u.push(x_init[i]);
+    }
+    for k in 0..t {
+        let row0 = (k + 1) * nx;
+        for i in 0..nx {
+            for j in 0..nx {
+                if a_dyn[i][j] != 0.0 {
+                    a.push(row0 + i, x_off(k) + j, a_dyn[i][j]);
+                }
+            }
+            for j in 0..nu {
+                if b_dyn[i][j] != 0.0 {
+                    a.push(row0 + i, u_off(k) + j, b_dyn[i][j]);
+                }
+            }
+            a.push(row0 + i, x_off(k + 1) + i, -1.0);
+            l.push(0.0);
+            u.push(0.0);
+        }
+    }
+    let bounds_row0 = (t + 1) * nx;
+    for j in 0..n {
+        a.push(bounds_row0 + j, j, 1.0);
+        let is_state = j < (t + 1) * nx;
+        let bound = if is_state { 10.0 } else { 1.0 };
+        l.push(-bound);
+        u.push(bound);
+    }
+
+    QpProblem::new(p.to_csr(), q, a.to_csr(), l, u)
+        .expect("control generator produces valid problems")
+        .with_name(format!("control_{size:04}"))
+}
+
+fn rand_unit(rng: &mut rand::rngs::SmallRng) -> f64 {
+    use rand::Rng;
+    rng.gen_range(0.0..1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let qp = generate(4, 1);
+        let nx = 4;
+        let nu = 2;
+        let n = (HORIZON + 1) * nx + HORIZON * nu;
+        assert_eq!(qp.num_vars(), n);
+        assert_eq!(qp.num_constraints(), (HORIZON + 1) * nx + n);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(3, 1);
+        let b = generate(3, 2);
+        assert!(rsqp_sparse::pattern::same_structure(a.p(), b.p()));
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+
+    #[test]
+    fn solves_to_optimality() {
+        let qp = generate(3, 42);
+        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        assert!(qp.primal_infeasibility(&r.x) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_states_panics() {
+        generate(0, 0);
+    }
+}

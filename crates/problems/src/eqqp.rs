@@ -1,0 +1,114 @@
+//! Random equality-constrained QP.
+//!
+//! ```text
+//! minimize   (1/2) xᵀPx + qᵀx
+//! subject to A x = b
+//! ```
+//!
+//! with `P = M·Mᵀ + 10⁻²·I` (`M = sprandn(n, n, 0.15)`) and a random
+//! `A ∈ R^{n/2 × n}` at 15 % density. The Gram product makes `P` rows dense
+//! and irregular — the class where the paper's customization helps least
+//! (Figure 9).
+
+use rsqp_sparse::{CooMatrix, CsrMatrix};
+use rsqp_solver::QpProblem;
+
+use crate::util::{randn, rng_for, sprandn};
+
+/// Generates an equality-constrained QP with `size` variables.
+///
+/// # Panics
+///
+/// Panics if `size < 2`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size >= 2, "eqqp needs at least two variables");
+    let n = size;
+    let p_rows = n / 2;
+    let mut prng = rng_for("eqqp-pattern", size, 0);
+    let mut vrng = rng_for("eqqp-values", size, seed);
+
+    let m_mat = sprandn(n, n, 0.15, &mut prng, &mut vrng);
+    let p = gram_plus_diag(&m_mat, 1e-2);
+    let q: Vec<f64> = (0..n).map(|_| randn(&mut vrng)).collect();
+
+    let a = sprandn(p_rows, n, 0.15, &mut prng, &mut vrng);
+    let x_feas: Vec<f64> = (0..n).map(|_| randn(&mut vrng)).collect();
+    let mut b = vec![0.0; p_rows];
+    a.spmv(&x_feas, &mut b).expect("generator shapes are consistent");
+
+    QpProblem::new(p, q, a, b.clone(), b)
+        .expect("eqqp generator produces valid problems")
+        .with_name(format!("eqqp_{size:04}"))
+}
+
+/// Computes `M·Mᵀ + α·I` as CSR without densifying.
+fn gram_plus_diag(m: &CsrMatrix, alpha: f64) -> CsrMatrix {
+    let n = m.nrows();
+    // Work column-by-column of Mᵀ (i.e. columns of M): each column k of M
+    // contributes the outer product of its non-zero entries.
+    let mt = m.transpose();
+    let mut coo = CooMatrix::new(n, n);
+    for k in 0..mt.nrows() {
+        let (rows, vals) = mt.row(k);
+        for (idx_a, (&i, &vi)) in rows.iter().zip(vals).enumerate() {
+            for (&j, &vj) in rows.iter().zip(vals).skip(idx_a) {
+                coo.push(i, j, vi * vj);
+                if i != j {
+                    coo.push(j, i, vi * vj);
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, alpha);
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn gram_is_symmetric_psd() {
+        let mut prng = rng_for("t", 1, 0);
+        let mut vrng = rng_for("t", 1, 1);
+        let m = sprandn(8, 8, 0.3, &mut prng, &mut vrng);
+        let g = gram_plus_diag(&m, 1e-2);
+        let gt = g.transpose();
+        assert_eq!(g, gt);
+        // xᵀGx > 0 for a few vectors.
+        for s in 0..3 {
+            let x: Vec<f64> = (0..8).map(|i| ((i + s) as f64 * 0.77).sin()).collect();
+            let mut gx = vec![0.0; 8];
+            g.spmv(&x, &mut gx).unwrap();
+            let quad: f64 = x.iter().zip(&gx).map(|(a, b)| a * b).sum();
+            assert!(quad > 0.0);
+        }
+    }
+
+    #[test]
+    fn constraints_are_equalities() {
+        let qp = generate(10, 1);
+        assert_eq!(qp.l(), qp.u());
+        assert_eq!(qp.num_constraints(), 5);
+    }
+
+    #[test]
+    fn is_feasible_by_construction_and_solves() {
+        let qp = generate(12, 7);
+        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        assert!(qp.primal_infeasibility(&r.x) < 1e-2);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(10, 1);
+        let b = generate(10, 4);
+        assert!(rsqp_sparse::pattern::same_structure(a.p(), b.p()));
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+}

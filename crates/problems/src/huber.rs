@@ -1,0 +1,120 @@
+//! Huber-loss robust regression as a QP.
+//!
+//! `min Σ_i huber_M(a_iᵀx − b_i)` with the standard split into a quadratic
+//! part `w` and slack pair `(r, s)`:
+//!
+//! ```text
+//! minimize   wᵀw + 2M·1ᵀ(r + s)
+//! subject to A_d x − w − r + s = b,   r ≥ 0,   s ≥ 0
+//! ```
+//!
+//! `A_d` has `m_s = 10·n` rows at 15 % density; `M = 1`.
+
+use rsqp_sparse::CooMatrix;
+use rsqp_solver::QpProblem;
+
+use crate::util::{randn, rng_for, sprandn};
+
+/// Samples per feature.
+pub const SAMPLES_PER_FEATURE: usize = 10;
+/// Huber threshold.
+pub const HUBER_M: f64 = 1.0;
+
+/// Generates a Huber-fitting problem with `size` features.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size > 0, "huber problem needs at least one feature");
+    let n = size;
+    let ms = SAMPLES_PER_FEATURE * n;
+    let mut prng = rng_for("huber-pattern", size, 0);
+    let mut vrng = rng_for("huber-values", size, seed);
+
+    let ad = sprandn(ms, n, 0.15, &mut prng, &mut vrng);
+    let v: Vec<f64> = (0..n).map(|_| randn(&mut vrng) / (n as f64).sqrt()).collect();
+    let mut b = vec![0.0; ms];
+    ad.spmv(&v, &mut b).expect("generator shapes are consistent");
+    // Salt-and-pepper outliers on 5% of samples.
+    for (i, bi) in b.iter_mut().enumerate() {
+        *bi += if i % 20 == 0 { 10.0 * randn(&mut vrng) } else { 0.01 * randn(&mut vrng) };
+    }
+
+    // Variables (x, w, r, s).
+    let nvar = n + 3 * ms;
+    let (w_off, r_off, s_off) = (n, n + ms, n + 2 * ms);
+    let mut p = CooMatrix::with_capacity(nvar, nvar, ms);
+    for i in 0..ms {
+        p.push(w_off + i, w_off + i, 2.0);
+    }
+    let mut q = vec![0.0; nvar];
+    for i in 0..ms {
+        q[r_off + i] = 2.0 * HUBER_M;
+        q[s_off + i] = 2.0 * HUBER_M;
+    }
+
+    let m = 3 * ms;
+    let mut a = CooMatrix::with_capacity(m, nvar, ad.nnz() + 5 * ms);
+    let mut l = Vec::with_capacity(m);
+    let mut u = Vec::with_capacity(m);
+    for row in 0..ms {
+        let (cols, vals) = ad.row(row);
+        for (&c, &val) in cols.iter().zip(vals) {
+            a.push(row, c, val);
+        }
+        a.push(row, w_off + row, -1.0);
+        a.push(row, r_off + row, -1.0);
+        a.push(row, s_off + row, 1.0);
+        l.push(b[row]);
+        u.push(b[row]);
+    }
+    for i in 0..ms {
+        a.push(ms + i, r_off + i, 1.0);
+        l.push(0.0);
+        u.push(f64::INFINITY);
+    }
+    for i in 0..ms {
+        a.push(2 * ms + i, s_off + i, 1.0);
+        l.push(0.0);
+        u.push(f64::INFINITY);
+    }
+
+    QpProblem::new(p.to_csr(), q, a.to_csr(), l, u)
+        .expect("huber generator produces valid problems")
+        .with_name(format!("huber_{size:04}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let qp = generate(3, 1);
+        assert_eq!(qp.num_vars(), 3 + 3 * 30);
+        assert_eq!(qp.num_constraints(), 3 * 30);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(3, 1);
+        let b = generate(3, 2);
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+
+    #[test]
+    fn solves_with_nonnegative_slacks() {
+        let qp = generate(4, 5);
+        let settings = Settings { eps_abs: 1e-6, eps_rel: 1e-6, max_iter: 20_000, ..Default::default() };
+        let mut s = Solver::new(&qp, settings).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        let (n, ms) = (4, 40);
+        for i in 0..ms {
+            assert!(r.x[n + ms + i] > -1e-3, "r slack negative");
+            assert!(r.x[n + 2 * ms + i] > -1e-3, "s slack negative");
+        }
+    }
+}

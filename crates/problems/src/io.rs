@@ -1,0 +1,145 @@
+//! QP problem persistence: a directory layout of Matrix Market files plus
+//! plain-text vectors, interoperable with the OSQP benchmark dumps.
+//!
+//! ```text
+//! <dir>/
+//!   P.mtx    # quadratic cost (coordinate real general)
+//!   A.mtx    # constraints
+//!   q.txt    # one value per line
+//!   l.txt    # "-inf"/"inf" allowed
+//!   u.txt
+//!   name.txt # problem name (optional)
+//! ```
+
+use std::io;
+use std::path::Path;
+
+use rsqp_solver::QpProblem;
+use rsqp_sparse::io::{read_matrix_market, write_matrix_market};
+
+/// Saves a problem into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_problem(problem: &QpProblem, dir: impl AsRef<Path>) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut p_file = std::fs::File::create(dir.join("P.mtx"))?;
+    write_matrix_market(problem.p(), &mut p_file)?;
+    let mut a_file = std::fs::File::create(dir.join("A.mtx"))?;
+    write_matrix_market(problem.a(), &mut a_file)?;
+    std::fs::write(dir.join("q.txt"), render_vector(problem.q()))?;
+    std::fs::write(dir.join("l.txt"), render_vector(problem.l()))?;
+    std::fs::write(dir.join("u.txt"), render_vector(problem.u()))?;
+    std::fs::write(dir.join("name.txt"), problem.name())?;
+    Ok(())
+}
+
+/// Loads a problem saved by [`save_problem`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed files or an invalid QP (e.g.
+/// `l > u`), and propagates I/O errors.
+pub fn load_problem(dir: impl AsRef<Path>) -> io::Result<QpProblem> {
+    let dir = dir.as_ref();
+    let p = read_matrix_market(std::fs::File::open(dir.join("P.mtx"))?)
+        .map_err(invalid)?;
+    let a = read_matrix_market(std::fs::File::open(dir.join("A.mtx"))?)
+        .map_err(invalid)?;
+    let q = parse_vector(&std::fs::read_to_string(dir.join("q.txt"))?)?;
+    let l = parse_vector(&std::fs::read_to_string(dir.join("l.txt"))?)?;
+    let u = parse_vector(&std::fs::read_to_string(dir.join("u.txt"))?)?;
+    let name = std::fs::read_to_string(dir.join("name.txt")).unwrap_or_default();
+    let problem = QpProblem::new(p, q, a, l, u).map_err(invalid)?;
+    Ok(problem.with_name(name.trim()))
+}
+
+fn render_vector(v: &[f64]) -> String {
+    let mut out = String::new();
+    for &x in v {
+        if x == f64::INFINITY {
+            out.push_str("inf\n");
+        } else if x == f64::NEG_INFINITY {
+            out.push_str("-inf\n");
+        } else {
+            out.push_str(&format!("{x:?}\n"));
+        }
+    }
+    out
+}
+
+fn parse_vector(text: &str) -> io::Result<Vec<f64>> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| match l {
+            "inf" | "+inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            other => other
+                .parse::<f64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad value {other:?}: {e}"))),
+        })
+        .collect()
+}
+
+fn invalid(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, Domain};
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn roundtrip_preserves_the_problem() {
+        let qp = generate(Domain::Lasso, 4, 9);
+        let dir = std::env::temp_dir().join("rsqp_problem_io_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_problem(&qp, &dir).unwrap();
+        let back = load_problem(&dir).unwrap();
+        assert_eq!(back.p(), qp.p());
+        assert_eq!(back.a(), qp.a());
+        assert_eq!(back.q(), qp.q());
+        assert_eq!(back.l(), qp.l());
+        assert_eq!(back.u(), qp.u());
+        assert_eq!(back.name(), qp.name());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn infinities_survive_roundtrip() {
+        let qp = generate(Domain::Svm, 4, 2); // has ±inf bounds
+        assert!(qp.l().iter().any(|v| v.is_infinite()));
+        let dir = std::env::temp_dir().join("rsqp_problem_io_inf_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        save_problem(&qp, &dir).unwrap();
+        let back = load_problem(&dir).unwrap();
+        assert_eq!(back.l(), qp.l());
+        assert_eq!(back.u(), qp.u());
+        // And the loaded problem solves identically.
+        let mut s = Solver::new(&back, Settings::default()).unwrap();
+        assert_eq!(s.solve().unwrap().status, Status::Solved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_corrupt_directories() {
+        let dir = std::env::temp_dir().join("rsqp_problem_io_bad_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("P.mtx"), "garbage").unwrap();
+        assert!(load_problem(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn vector_parsing_edges() {
+        assert_eq!(parse_vector("1.5\n-inf\ninf\n").unwrap(), vec![1.5, f64::NEG_INFINITY, f64::INFINITY]);
+        assert!(parse_vector("abc").is_err());
+        assert_eq!(parse_vector("\n\n").unwrap(), Vec::<f64>::new());
+    }
+}

@@ -1,0 +1,131 @@
+//! Lasso (ℓ₁-regularized least squares) as a QP.
+//!
+//! For a data matrix `A_d ∈ R^{m_s×n}` (`m_s = 10·n` samples, 15 % density)
+//! the lasso `min (1/2)‖A_d x − b‖² + λ‖x‖₁` is rewritten with residuals
+//! `y = A_d x − b` and the usual ℓ₁ split `|x| ≤ t`:
+//!
+//! ```text
+//! minimize   (1/2) yᵀy + λ·1ᵀt
+//! subject to A_d x − y = b,   −t ≤ x ≤ t
+//! ```
+
+use rsqp_sparse::{vec_ops, CooMatrix};
+use rsqp_solver::QpProblem;
+
+use crate::util::{randn, rng_for, sprandn};
+
+/// Samples per feature.
+pub const SAMPLES_PER_FEATURE: usize = 10;
+
+/// Generates a lasso problem with `size` features.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size > 0, "lasso problem needs at least one feature");
+    let n = size;
+    let ms = SAMPLES_PER_FEATURE * n;
+    let mut prng = rng_for("lasso-pattern", size, 0);
+    let mut vrng = rng_for("lasso-values", size, seed);
+
+    let ad = sprandn(ms, n, 0.15, &mut prng, &mut vrng);
+    // Ground-truth sparse coefficients and noisy observations.
+    let v: Vec<f64> = (0..n)
+        .map(|_| {
+            if randn(&mut vrng) > 0.0 {
+                randn(&mut vrng) / (n as f64).sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut b = vec![0.0; ms];
+    ad.spmv(&v, &mut b).expect("generator shapes are consistent");
+    for bi in &mut b {
+        *bi += 0.01 * randn(&mut vrng);
+    }
+    let mut atb = vec![0.0; n];
+    ad.spmv_transpose(&b, &mut atb).expect("generator shapes are consistent");
+    let lambda = 0.2 * vec_ops::inf_norm(&atb);
+
+    // Variables (x, y, t).
+    let nvar = 2 * n + ms;
+    let (y_off, t_off) = (n, n + ms);
+    let mut p = CooMatrix::with_capacity(nvar, nvar, ms);
+    for i in 0..ms {
+        p.push(y_off + i, y_off + i, 1.0);
+    }
+    let mut q = vec![0.0; nvar];
+    for i in 0..n {
+        q[t_off + i] = lambda;
+    }
+
+    let m = ms + 2 * n;
+    let mut a = CooMatrix::with_capacity(m, nvar, ad.nnz() + ms + 4 * n);
+    let mut l = Vec::with_capacity(m);
+    let mut u = Vec::with_capacity(m);
+    // A_d x − y = b.
+    for r in 0..ms {
+        let (cols, vals) = ad.row(r);
+        for (&c, &val) in cols.iter().zip(vals) {
+            a.push(r, c, val);
+        }
+        a.push(r, y_off + r, -1.0);
+        l.push(b[r]);
+        u.push(b[r]);
+    }
+    // x − t ≤ 0.
+    for i in 0..n {
+        a.push(ms + i, i, 1.0);
+        a.push(ms + i, t_off + i, -1.0);
+        l.push(f64::NEG_INFINITY);
+        u.push(0.0);
+    }
+    // x + t ≥ 0.
+    for i in 0..n {
+        a.push(ms + n + i, i, 1.0);
+        a.push(ms + n + i, t_off + i, 1.0);
+        l.push(0.0);
+        u.push(f64::INFINITY);
+    }
+
+    QpProblem::new(p.to_csr(), q, a.to_csr(), l, u)
+        .expect("lasso generator produces valid problems")
+        .with_name(format!("lasso_{size:04}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let qp = generate(5, 1);
+        assert_eq!(qp.num_vars(), 2 * 5 + 50);
+        assert_eq!(qp.num_constraints(), 50 + 10);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(4, 1);
+        let b = generate(4, 5);
+        assert!(rsqp_sparse::pattern::same_structure(a.p(), b.p()));
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+
+    #[test]
+    fn solves_and_epigraph_holds() {
+        let qp = generate(6, 11);
+        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        // |x_i| <= t_i at the solution.
+        let n = 6;
+        let t_off = n + 60;
+        for i in 0..n {
+            assert!(r.x[i].abs() <= r.x[t_off + i] + 1e-3);
+        }
+    }
+}

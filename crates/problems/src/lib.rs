@@ -1,0 +1,66 @@
+//! Benchmark problem generators for the RSQP reproduction.
+//!
+//! The RSQP paper evaluates on "120 problems across 6 applications with
+//! dimensions ranging from less than 10² to over 10⁶ non-zeros,
+//! automatically generated from the OSQP benchmark set" (§1, §5). This crate
+//! ports those generators to Rust:
+//!
+//! | Domain | Formulation |
+//! |---|---|
+//! | [`control`] | linear MPC with box state/input constraints |
+//! | [`portfolio`] | factor-model Markowitz portfolio optimization |
+//! | [`lasso`] | ℓ₁-regularized least squares as a QP |
+//! | [`huber`] | Huber-loss robust regression as a QP |
+//! | [`svm`] | hinge-loss support vector machine as a QP |
+//! | [`eqqp`] | random equality-constrained QP |
+//!
+//! All generators are deterministic given a seed, and every instance of a
+//! given `(domain, size)` pair has the **same sparsity structure** — the
+//! property the RSQP customization framework relies on to amortize the
+//! hardware generation cost over many solves.
+//!
+//! # Example
+//!
+//! ```
+//! use rsqp_problems::{generate, Domain};
+//!
+//! let qp = generate(Domain::Svm, 2, 7);
+//! assert!(qp.num_vars() > 0);
+//! assert!(qp.name().starts_with("svm"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod eqqp;
+pub mod huber;
+pub mod io;
+pub mod lasso;
+pub mod portfolio;
+pub mod random;
+pub mod svm;
+mod suite;
+mod util;
+
+pub use suite::{benchmark_suite, small_suite, suite_with_sizes, BenchmarkProblem, Domain};
+pub use util::sprandn;
+
+use rsqp_solver::QpProblem;
+
+/// Generates one benchmark problem.
+///
+/// `size` is a domain-specific scale knob (see each domain module); `seed`
+/// fixes the numeric instance. Two calls with the same `(domain, size)` but
+/// different seeds produce identical sparsity structures with different
+/// values.
+pub fn generate(domain: Domain, size: usize, seed: u64) -> QpProblem {
+    match domain {
+        Domain::Control => control::generate(size, seed),
+        Domain::Portfolio => portfolio::generate(size, seed),
+        Domain::Lasso => lasso::generate(size, seed),
+        Domain::Huber => huber::generate(size, seed),
+        Domain::Svm => svm::generate(size, seed),
+        Domain::Eqqp => eqqp::generate(size, seed),
+    }
+}

@@ -1,0 +1,146 @@
+//! Markowitz portfolio optimization with a factor risk model.
+//!
+//! With `k = size` factors and `n = 100·k` assets, risk is modeled as
+//! `Σ = F·Fᵀ + D` (factor loadings `F ∈ R^{n×k}` at 50 % density, diagonal
+//! idiosyncratic risk `D`). Introducing `y = Fᵀx` keeps the QP sparse:
+//!
+//! ```text
+//! minimize   (1/2)(xᵀDx + yᵀy) − μᵀx
+//! subject to y = Fᵀx,  1ᵀx = 1,  0 ≤ x ≤ 1
+//! ```
+//!
+//! This is the parametric problem class the paper uses to motivate
+//! architecture reuse: backtesting re-solves the same structure with
+//! different `μ` up to 120 000 times (§1).
+
+use rand::Rng;
+use rsqp_sparse::CooMatrix;
+use rsqp_solver::QpProblem;
+
+use crate::util::{randn, rng_for, sprandn};
+
+/// Number of assets per factor.
+pub const ASSETS_PER_FACTOR: usize = 100;
+
+/// Generates a portfolio problem with `size` factors (`100·size` assets).
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size > 0, "portfolio problem needs at least one factor");
+    let k = size;
+    let n = ASSETS_PER_FACTOR * k;
+    let mut prng = rng_for("portfolio-pattern", size, 0);
+    let mut vrng = rng_for("portfolio-values", size, seed);
+
+    // F: n x k loadings, 50% density.
+    let f = sprandn(n, k, 0.5, &mut prng, &mut vrng);
+    let d_diag: Vec<f64> = (0..n)
+        .map(|_| vrng.gen_range(0.0..1.0) * (k as f64).sqrt())
+        .collect();
+    let mu: Vec<f64> = (0..n).map(|_| randn(&mut vrng)).collect();
+
+    let nvar = n + k;
+    // P = blkdiag(D, I_k); explicit diagonal keeps the structure seed-stable.
+    let mut p = CooMatrix::with_capacity(nvar, nvar, nvar);
+    for (i, &d) in d_diag.iter().enumerate() {
+        p.push(i, i, d);
+    }
+    for j in 0..k {
+        p.push(n + j, n + j, 1.0);
+    }
+    let mut q = vec![0.0; nvar];
+    for i in 0..n {
+        q[i] = -mu[i];
+    }
+
+    // Constraints: [Fᵀ −I; 1ᵀ 0; I 0].
+    let m = k + 1 + n;
+    let mut a = CooMatrix::with_capacity(m, nvar, f.nnz() + k + n + n);
+    let ft = f.transpose();
+    for r in 0..k {
+        let (cols, vals) = ft.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            a.push(r, c, v);
+        }
+        a.push(r, n + r, -1.0);
+    }
+    for j in 0..n {
+        a.push(k, j, 1.0);
+    }
+    for j in 0..n {
+        a.push(k + 1 + j, j, 1.0);
+    }
+    let mut l = vec![0.0; m];
+    let mut u = vec![0.0; m];
+    l[k] = 1.0;
+    u[k] = 1.0;
+    for i in 0..n {
+        l[k + 1 + i] = 0.0;
+        u[k + 1 + i] = 1.0;
+    }
+
+    QpProblem::new(p.to_csr(), q, a.to_csr(), l, u)
+        .expect("portfolio generator produces valid problems")
+        .with_name(format!("portfolio_{size:04}"))
+}
+
+/// Draws a fresh expected-return vector `μ` for the parametric re-solve
+/// scenario (same structure, new `q`). Returns the new `q` vector.
+pub fn resample_returns(problem: &QpProblem, seed: u64) -> Vec<f64> {
+    let n = problem
+        .name()
+        .strip_prefix("portfolio_")
+        .and_then(|s| s.parse::<usize>().ok())
+        .map(|k| k * ASSETS_PER_FACTOR)
+        .unwrap_or(problem.num_vars());
+    let mut vrng = rng_for("portfolio-mu", n, seed);
+    let mut q = problem.q().to_vec();
+    for qi in q.iter_mut().take(n) {
+        *qi = -randn(&mut vrng);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let qp = generate(2, 1);
+        let (k, n) = (2, 200);
+        assert_eq!(qp.num_vars(), n + k);
+        assert_eq!(qp.num_constraints(), k + 1 + n);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(2, 1);
+        let b = generate(2, 9);
+        assert!(rsqp_sparse::pattern::same_structure(a.p(), b.p()));
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+
+    #[test]
+    fn solution_is_a_portfolio() {
+        let qp = generate(1, 3);
+        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        let total: f64 = r.x[..100].iter().sum();
+        assert!((total - 1.0).abs() < 1e-2, "weights sum to {total}");
+        assert!(r.x[..100].iter().all(|&w| w > -1e-3));
+    }
+
+    #[test]
+    fn resample_returns_only_touches_asset_block() {
+        let qp = generate(1, 3);
+        let q2 = resample_returns(&qp, 77);
+        assert_eq!(q2.len(), qp.num_vars());
+        assert_ne!(&q2[..100], &qp.q()[..100]);
+        assert_eq!(&q2[100..], &qp.q()[100..]);
+    }
+}

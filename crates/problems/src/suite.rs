@@ -1,0 +1,207 @@
+//! The 120-problem benchmark suite (6 domains × 20 sizes).
+
+use std::fmt;
+
+use rsqp_solver::QpProblem;
+
+use crate::generate;
+
+/// The six application domains of the OSQP/RSQP benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Linear model predictive control.
+    Control,
+    /// Factor-model portfolio optimization.
+    Portfolio,
+    /// ℓ₁-regularized least squares.
+    Lasso,
+    /// Huber-loss robust regression.
+    Huber,
+    /// Support vector machine.
+    Svm,
+    /// Random equality-constrained QP.
+    Eqqp,
+}
+
+impl Domain {
+    /// All six domains, in the paper's plotting order.
+    pub fn all() -> [Domain; 6] {
+        [
+            Domain::Control,
+            Domain::Portfolio,
+            Domain::Lasso,
+            Domain::Huber,
+            Domain::Svm,
+            Domain::Eqqp,
+        ]
+    }
+
+    /// Lower-case identifier matching the paper's legend labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Control => "control",
+            Domain::Portfolio => "portfolio",
+            Domain::Lasso => "lasso",
+            Domain::Huber => "huber",
+            Domain::Svm => "svm",
+            Domain::Eqqp => "eqqp",
+        }
+    }
+
+    /// The default 20-point size schedule for this domain (log-spaced in the
+    /// domain's size knob, spanning nnz ≈ 10² … a few 10⁵; see
+    /// `EXPERIMENTS.md` for the deliberate top-end reduction versus the
+    /// paper's 10⁶).
+    pub fn size_schedule(self, points: usize) -> Vec<usize> {
+        let (lo, hi) = match self {
+            Domain::Control => (2, 60),
+            Domain::Portfolio => (1, 60),
+            Domain::Lasso => (4, 200),
+            Domain::Huber => (4, 160),
+            Domain::Svm => (4, 200),
+            Domain::Eqqp => (10, 400),
+        };
+        log_spaced(lo, hi, points)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A generated benchmark instance with its provenance.
+#[derive(Debug, Clone)]
+pub struct BenchmarkProblem {
+    /// Application domain.
+    pub domain: Domain,
+    /// Index of the instance within the domain (0-based).
+    pub index: usize,
+    /// The domain-specific size knob used.
+    pub size: usize,
+    /// The generated problem.
+    pub problem: QpProblem,
+}
+
+/// Strictly increasing log-spaced integer schedule from `lo` to `hi`.
+fn log_spaced(lo: usize, hi: usize, points: usize) -> Vec<usize> {
+    assert!(points > 0 && lo >= 1 && hi >= lo, "bad schedule parameters");
+    if points == 1 {
+        return vec![hi];
+    }
+    let (a, b) = ((lo as f64).ln(), (hi as f64).ln());
+    let mut out = Vec::with_capacity(points);
+    let mut last = 0usize;
+    for i in 0..points {
+        let t = i as f64 / (points - 1) as f64;
+        let mut v = (a + t * (b - a)).exp().round() as usize;
+        if v <= last {
+            v = last + 1;
+        }
+        out.push(v);
+        last = v;
+    }
+    out
+}
+
+/// Generates the full 120-problem benchmark (20 sizes for each of the 6
+/// domains) with deterministic seeding.
+pub fn benchmark_suite(seed: u64) -> Vec<BenchmarkProblem> {
+    suite_with_sizes(seed, 20)
+}
+
+/// A reduced suite (3 sizes per domain, small instances) for tests and
+/// micro-benchmarks.
+pub fn small_suite(seed: u64) -> Vec<BenchmarkProblem> {
+    Domain::all()
+        .iter()
+        .flat_map(|&domain| {
+            let sizes: Vec<usize> = domain.size_schedule(20)[..3].to_vec();
+            sizes.into_iter().enumerate().map(move |(index, size)| BenchmarkProblem {
+                domain,
+                index,
+                size,
+                problem: generate(domain, size, seed + index as u64),
+            })
+        })
+        .collect()
+}
+
+/// Generates `points` sizes per domain following each domain's schedule.
+pub fn suite_with_sizes(seed: u64, points: usize) -> Vec<BenchmarkProblem> {
+    Domain::all()
+        .iter()
+        .flat_map(|&domain| {
+            domain
+                .size_schedule(points)
+                .into_iter()
+                .enumerate()
+                .map(move |(index, size)| BenchmarkProblem {
+                    domain,
+                    index,
+                    size,
+                    problem: generate(domain, size, seed + index as u64),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spaced_is_strictly_increasing() {
+        let s = log_spaced(2, 100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 2);
+        assert_eq!(*s.last().unwrap(), 100);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn log_spaced_handles_tight_ranges() {
+        let s = log_spaced(2, 4, 5);
+        assert_eq!(s.len(), 5);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn small_suite_covers_all_domains() {
+        let suite = small_suite(1);
+        assert_eq!(suite.len(), 18);
+        for d in Domain::all() {
+            assert_eq!(suite.iter().filter(|b| b.domain == d).count(), 3);
+        }
+        for b in &suite {
+            assert!(b.problem.total_nnz() > 0);
+            assert!(b.problem.name().starts_with(b.domain.name()));
+        }
+    }
+
+    #[test]
+    fn full_suite_has_120_problems_with_spread() {
+        // Only check the schedule (generating all 120 here would be slow in
+        // debug builds).
+        let mut total = 0;
+        for d in Domain::all() {
+            let s = d.size_schedule(20);
+            assert_eq!(s.len(), 20);
+            total += s.len();
+        }
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn domain_names_match_paper_legend() {
+        let names: Vec<&str> = Domain::all().iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["control", "portfolio", "lasso", "huber", "svm", "eqqp"]);
+        assert_eq!(Domain::Svm.to_string(), "svm");
+    }
+}

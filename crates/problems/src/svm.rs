@@ -1,0 +1,115 @@
+//! Support vector machine (hinge loss) as a QP.
+//!
+//! ```text
+//! minimize   (1/2) xᵀx + λ·1ᵀt
+//! subject to t ≥ diag(b)·A_d·x + 1,   t ≥ 0
+//! ```
+//!
+//! `A_d` has `m_s = 10·n` rows at 15 % density; labels `b_i = ±1` with a
+//! class-dependent feature shift so the instance is non-trivially separable.
+
+use rsqp_sparse::CooMatrix;
+use rsqp_solver::QpProblem;
+
+use crate::util::{rng_for, sprandn};
+
+/// Samples per feature.
+pub const SAMPLES_PER_FEATURE: usize = 10;
+/// Hinge-loss weight.
+pub const LAMBDA: f64 = 1.0;
+
+/// Generates an SVM problem with `size` features.
+///
+/// # Panics
+///
+/// Panics if `size == 0`.
+pub fn generate(size: usize, seed: u64) -> QpProblem {
+    assert!(size > 0, "svm problem needs at least one feature");
+    let n = size;
+    let ms = SAMPLES_PER_FEATURE * n;
+    let mut prng = rng_for("svm-pattern", size, 0);
+    let mut vrng = rng_for("svm-values", size, seed);
+
+    let mut ad = sprandn(ms, n, 0.15, &mut prng, &mut vrng);
+    // First half of the samples get label +1 and a positive feature shift,
+    // second half -1 and a negative shift.
+    let labels: Vec<f64> = (0..ms).map(|i| if i < ms / 2 { 1.0 } else { -1.0 }).collect();
+    {
+        let indptr = ad.indptr().to_vec();
+        let data = ad.data_mut();
+        for i in 0..ms {
+            for v in &mut data[indptr[i]..indptr[i + 1]] {
+                *v += labels[i] / (n as f64).sqrt();
+            }
+        }
+    }
+
+    // Variables (x, t).
+    let nvar = n + ms;
+    let mut p = CooMatrix::with_capacity(nvar, nvar, n);
+    for i in 0..n {
+        p.push(i, i, 1.0);
+    }
+    let mut q = vec![0.0; nvar];
+    for i in 0..ms {
+        q[n + i] = LAMBDA;
+    }
+
+    // Constraints: diag(b)·A_d·x − t ≤ −1 and t ≥ 0.
+    let m = 2 * ms;
+    let mut a = CooMatrix::with_capacity(m, nvar, ad.nnz() + 2 * ms);
+    let mut l = Vec::with_capacity(m);
+    let mut u = Vec::with_capacity(m);
+    for r in 0..ms {
+        let (cols, vals) = ad.row(r);
+        for (&c, &val) in cols.iter().zip(vals) {
+            a.push(r, c, labels[r] * val);
+        }
+        a.push(r, n + r, -1.0);
+        l.push(f64::NEG_INFINITY);
+        u.push(-1.0);
+    }
+    for i in 0..ms {
+        a.push(ms + i, n + i, 1.0);
+        l.push(0.0);
+        u.push(f64::INFINITY);
+    }
+
+    QpProblem::new(p.to_csr(), q, a.to_csr(), l, u)
+        .expect("svm generator produces valid problems")
+        .with_name(format!("svm_{size:04}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsqp_solver::{Settings, Solver, Status};
+
+    #[test]
+    fn shapes_are_consistent() {
+        let qp = generate(4, 1);
+        assert_eq!(qp.num_vars(), 4 + 40);
+        assert_eq!(qp.num_constraints(), 80);
+    }
+
+    #[test]
+    fn same_structure_across_seeds() {
+        let a = generate(4, 1);
+        let b = generate(4, 3);
+        assert!(rsqp_sparse::pattern::same_structure(a.a(), b.a()));
+    }
+
+    #[test]
+    fn hinge_slacks_are_consistent_at_solution() {
+        let qp = generate(4, 9);
+        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, Status::Solved);
+        // t_i >= 0 at solution.
+        for i in 0..40 {
+            assert!(r.x[4 + i] > -1e-3);
+        }
+        // objective is positive (1't >= 0, x'x >= 0)
+        assert!(r.objective > 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared random-matrix helpers for the generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rsqp_sparse::{CooMatrix, CsrMatrix};
+
+/// Deterministic RNG for a `(domain, size, seed)` triple.
+///
+/// The *structure stream* and the *value stream* are derived separately so
+/// that different seeds keep the same sparsity pattern (see crate docs).
+pub(crate) fn rng_for(tag: &str, size: usize, salt: u64) -> SmallRng {
+    // FNV-1a over the tag, mixed with size and salt.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= (size as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= salt.wrapping_mul(0xd1b5_4a32_d192_ed03);
+    SmallRng::seed_from_u64(h)
+}
+
+/// Standard-normal sample via Box-Muller (keeps the dependency surface to
+/// `rand`'s uniform generator only).
+pub(crate) fn randn(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Random sparse matrix with approximately `density·rows·cols` standard
+/// normal entries (the `sprandn` of the original Python generators).
+///
+/// The sparsity *pattern* is drawn from `pattern_rng` and the values from
+/// `value_rng`, so callers can fix the structure across numeric instances.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn sprandn(
+    rows: usize,
+    cols: usize,
+    density: f64,
+    pattern_rng: &mut SmallRng,
+    value_rng: &mut SmallRng,
+) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let target = ((rows * cols) as f64 * density).round() as usize;
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut coo = CooMatrix::with_capacity(rows, cols, target);
+    if rows == 0 || cols == 0 {
+        return coo.to_csr();
+    }
+    let mut attempts = 0usize;
+    while seen.len() < target && attempts < 10 * target + 100 {
+        attempts += 1;
+        let r = pattern_rng.gen_range(0..rows);
+        let c = pattern_rng.gen_range(0..cols);
+        if seen.insert((r, c)) {
+            coo.push(r, c, randn(value_rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random dense matrix with standard normal entries.
+pub(crate) fn dense_randn(rows: usize, cols: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    (0..rows)
+        .map(|_| (0..cols).map(|_| randn(rng)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprandn_hits_target_density() {
+        let mut p = rng_for("t", 1, 0);
+        let mut v = rng_for("t", 1, 1);
+        let m = sprandn(50, 40, 0.15, &mut p, &mut v);
+        let want = (50.0 * 40.0 * 0.15) as usize;
+        assert!(m.nnz() >= want - 5 && m.nnz() <= want + 5, "nnz {}", m.nnz());
+    }
+
+    #[test]
+    fn sprandn_structure_fixed_by_pattern_rng() {
+        let mk = |value_salt| {
+            let mut p = rng_for("s", 3, 0);
+            let mut v = rng_for("s", 3, value_salt);
+            sprandn(20, 20, 0.2, &mut p, &mut v)
+        };
+        let a = mk(1);
+        let b = mk(2);
+        assert_eq!(a.indptr(), b.indptr());
+        assert_eq!(a.indices(), b.indices());
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn randn_has_roughly_zero_mean() {
+        let mut rng = rng_for("mean", 0, 0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| randn(&mut rng)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn rng_for_is_deterministic_and_tag_sensitive() {
+        let a: u64 = rng_for("x", 1, 2).gen();
+        let b: u64 = rng_for("x", 1, 2).gen();
+        let c: u64 = rng_for("y", 1, 2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sprandn_empty_shapes() {
+        let mut p = rng_for("e", 0, 0);
+        let mut v = rng_for("e", 0, 1);
+        let m = sprandn(0, 10, 0.5, &mut p, &mut v);
+        assert_eq!(m.nnz(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Primal and dual infeasibility certificates (OSQP §3.4).
+//!
+//! The one-iteration differences `δy = y⁺ − y` and `δx = x⁺ − x` converge,
+//! for infeasible problems, to certificates of primal and dual
+//! infeasibility respectively. All inputs here are **unscaled**.
+
+use rsqp_sparse::vec_ops;
+
+use crate::problem::QP_INFTY;
+
+/// Checks the primal-infeasibility certificate:
+///
+/// `‖Aᵀδy‖∞ ≤ ε‖δy‖∞` and `uᵀ(δy)₊ + lᵀ(δy)₋ ≤ −ε‖δy‖∞`.
+///
+/// `at_dy` must be `Aᵀ·δy`. Infinite bounds paired with a `δy` component of
+/// the "wrong" sign make the support term `+∞` and the certificate fails.
+pub fn primal_certificate(dy: &[f64], at_dy: &[f64], l: &[f64], u: &[f64], eps: f64) -> bool {
+    let norm_dy = vec_ops::inf_norm(dy);
+    if norm_dy <= eps {
+        return false;
+    }
+    if vec_ops::inf_norm(at_dy) > eps * norm_dy {
+        return false;
+    }
+    let mut support = 0.0f64;
+    for i in 0..dy.len() {
+        let d = dy[i];
+        if d > 0.0 {
+            if u[i] >= QP_INFTY {
+                return false;
+            }
+            support += u[i] * d;
+        } else if d < 0.0 {
+            if l[i] <= -QP_INFTY {
+                return false;
+            }
+            support += l[i] * d;
+        }
+    }
+    support <= -eps * norm_dy
+}
+
+/// Checks the dual-infeasibility certificate:
+///
+/// `‖Pδx‖∞ ≤ ε‖δx‖∞`, `qᵀδx ≤ −ε‖δx‖∞`, and `Aδx` stays inside the
+/// recession cone of the constraint box (`(Aδx)_i ≤ ε‖δx‖` where `u_i`
+/// finite, `(Aδx)_i ≥ −ε‖δx‖` where `l_i` finite).
+pub fn dual_certificate(
+    dx: &[f64],
+    p_dx: &[f64],
+    a_dx: &[f64],
+    q: &[f64],
+    l: &[f64],
+    u: &[f64],
+    eps: f64,
+) -> bool {
+    let norm_dx = vec_ops::inf_norm(dx);
+    if norm_dx <= eps {
+        return false;
+    }
+    if vec_ops::inf_norm(p_dx) > eps * norm_dx {
+        return false;
+    }
+    if vec_ops::dot(q, dx) > -eps * norm_dx {
+        return false;
+    }
+    for i in 0..a_dx.len() {
+        let v = a_dx[i];
+        if u[i] < QP_INFTY && v > eps * norm_dx {
+            return false;
+        }
+        if l[i] > -QP_INFTY && v < -eps * norm_dx {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f64 = f64::INFINITY;
+
+    #[test]
+    fn primal_certificate_detects_contradictory_equalities() {
+        // Constraints x = 0 and x = 1 (A = [1; 1]): dy = (1, -1) gives
+        // Aᵀdy = 0 and support = u1*1 + l0*(-1)... pick dy = (1, -1) with
+        // bounds row0: [1,1], row1: [0,0] -> support = 1*1 + 0 = 1? choose
+        // dy = (-1, 1): support = l0*(-1) + u1*(1) = -1 + 0 = -1 < 0. ✓
+        let dy = [-1.0, 1.0];
+        let at_dy = [0.0];
+        let l = [1.0, 0.0];
+        let u = [1.0, 0.0];
+        assert!(primal_certificate(&dy, &at_dy, &l, &u, 1e-6));
+    }
+
+    #[test]
+    fn primal_certificate_rejects_feasible_direction() {
+        // Non-zero Aᵀdy.
+        assert!(!primal_certificate(&[1.0], &[1.0], &[0.0], &[1.0], 1e-6));
+        // Positive support.
+        assert!(!primal_certificate(&[1.0], &[0.0], &[0.0], &[1.0], 1e-6));
+        // Zero dy.
+        assert!(!primal_certificate(&[0.0], &[0.0], &[0.0], &[1.0], 1e-6));
+    }
+
+    #[test]
+    fn primal_certificate_fails_on_infinite_support() {
+        // dy positive where u infinite -> support unbounded above.
+        assert!(!primal_certificate(&[1.0], &[0.0], &[0.0], &[INF], 1e-6));
+        assert!(!primal_certificate(&[-1.0], &[0.0], &[-INF], &[0.0], 1e-6));
+    }
+
+    #[test]
+    fn dual_certificate_detects_unbounded_direction() {
+        // minimize -x with x >= 0 (u = inf): direction dx = 1 has P dx = 0,
+        // q'dx = -1 < 0, A dx = 1 allowed because u is infinite.
+        assert!(dual_certificate(
+            &[1.0],
+            &[0.0],
+            &[1.0],
+            &[-1.0],
+            &[0.0],
+            &[INF],
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn dual_certificate_rejects_bounded_problems() {
+        // Curvature along dx.
+        assert!(!dual_certificate(&[1.0], &[1.0], &[0.0], &[-1.0], &[0.0], &[INF], 1e-6));
+        // Cost not decreasing.
+        assert!(!dual_certificate(&[1.0], &[0.0], &[0.0], &[1.0], &[0.0], &[INF], 1e-6));
+        // Direction leaves a finite upper bound.
+        assert!(!dual_certificate(&[1.0], &[0.0], &[1.0], &[-1.0], &[0.0], &[5.0], 1e-6));
+        // Direction leaves a finite lower bound.
+        assert!(!dual_certificate(
+            &[1.0],
+            &[0.0],
+            &[-1.0],
+            &[-1.0],
+            &[0.0],
+            &[INF],
+            1e-6
+        ));
+    }
+}

@@ -1,0 +1,571 @@
+//! The ADMM iteration (Algorithm 1 of the paper).
+
+use std::time::{Duration, Instant};
+
+use rsqp_sparse::CsrMatrix;
+
+use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
+use crate::infeasibility::{dual_certificate, primal_certificate};
+use crate::settings::{CgTolerance, LinSysKind};
+use crate::termination::{residuals, ResidualInfo};
+use crate::{QpProblem, RhoManager, Scaling, Settings, SolverError, Status};
+
+/// Wall-clock breakdown of a solve, used to reproduce Figure 8 (the share of
+/// solver time spent in the KKT solve).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingBreakdown {
+    /// Time spent in `Solver::new` (scaling + backend setup).
+    pub setup: Duration,
+    /// Total time inside `solve`.
+    pub solve: Duration,
+    /// Portion of `solve` spent inside the KKT backend.
+    pub kkt_solve: Duration,
+}
+
+impl TimingBreakdown {
+    /// Fraction of solve time spent solving KKT systems, in `[0, 1]`.
+    pub fn kkt_fraction(&self) -> f64 {
+        if self.solve.is_zero() {
+            0.0
+        } else {
+            self.kkt_solve.as_secs_f64() / self.solve.as_secs_f64()
+        }
+    }
+}
+
+/// Outcome of [`Solver::solve`]. All vectors are in the original (unscaled)
+/// problem space.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Termination status.
+    pub status: Status,
+    /// Primal solution estimate.
+    pub x: Vec<f64>,
+    /// Dual solution estimate.
+    pub y: Vec<f64>,
+    /// Constraint activation `z ≈ Ax`.
+    pub z: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// ADMM iterations performed.
+    pub iterations: usize,
+    /// Final unscaled primal residual.
+    pub prim_res: f64,
+    /// Final unscaled dual residual.
+    pub dual_res: f64,
+    /// Number of accepted adaptive-ρ updates.
+    pub rho_updates: usize,
+    /// Whether solution polishing ran and improved the iterate.
+    pub polished: bool,
+    /// Work counters from the KKT backend.
+    pub backend: BackendStats,
+    /// Wall-clock breakdown.
+    pub timings: TimingBreakdown,
+}
+
+impl std::fmt::Display for SolveResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "status: {} | iters: {} | obj: {:.6e} | pri res: {:.3e} | dua res: {:.3e}{}{}",
+            self.status,
+            self.iterations,
+            self.objective,
+            self.prim_res,
+            self.dual_res,
+            if self.polished { " | polished" } else { "" },
+            if self.rho_updates > 0 {
+                format!(" | rho updates: {}", self.rho_updates)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// An OSQP-style ADMM solver bound to one problem instance.
+///
+/// The solver keeps its iterates between [`Solver::solve`] calls, so
+/// parametric re-solves (after [`Solver::update_bounds`] /
+/// [`Solver::update_q`]) are automatically warm-started — the usage pattern
+/// that amortizes RSQP's hardware-generation time in the paper's portfolio
+/// backtesting example.
+pub struct Solver {
+    settings: Settings,
+    orig: QpProblem,
+    // Scaled problem data.
+    p: CsrMatrix,
+    q: Vec<f64>,
+    a: CsrMatrix,
+    l: Vec<f64>,
+    u: Vec<f64>,
+    scaling: Scaling,
+    rho_mgr: RhoManager,
+    backend: Box<dyn KktBackend>,
+    // Scaled iterates.
+    x: Vec<f64>,
+    z: Vec<f64>,
+    y: Vec<f64>,
+    setup_time: Duration,
+}
+
+impl std::fmt::Debug for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("n", &self.orig.num_vars())
+            .field("m", &self.orig.num_constraints())
+            .field("backend", &self.backend.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Solver {
+    /// Sets up the solver: validates settings, equilibrates the problem, and
+    /// builds the backend selected by [`Settings::linsys`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid settings or a failed factorization.
+    pub fn new(problem: &QpProblem, settings: Settings) -> Result<Self, SolverError> {
+        let kind = settings.linsys;
+        Self::with_backend(problem, settings, &mut |p, a, sigma, rho, s| match kind {
+            LinSysKind::DirectLdlt => Ok(Box::new(DirectLdltBackend::with_ordering(
+                p, a, sigma, rho, s.ordering,
+            )?)),
+            LinSysKind::CpuPcg => {
+                let eps = match s.cg_tolerance {
+                    CgTolerance::Fixed(e) => e,
+                    CgTolerance::Adaptive { start, .. } => start,
+                };
+                Ok(Box::new(CpuPcgBackend::new(p, a, sigma, rho, eps, s.cg_max_iter)))
+            }
+        })
+    }
+
+    /// Sets up the solver with a caller-provided backend factory (used by
+    /// `rsqp-core` to inject the simulated-FPGA backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid settings or a factory failure.
+    pub fn with_backend(
+        problem: &QpProblem,
+        settings: Settings,
+        factory: &mut dyn FnMut(
+            &CsrMatrix,
+            &CsrMatrix,
+            f64,
+            &[f64],
+            &Settings,
+        ) -> Result<Box<dyn KktBackend>, SolverError>,
+    ) -> Result<Self, SolverError> {
+        let start = Instant::now();
+        settings.validate()?;
+        let n = problem.num_vars();
+        let m = problem.num_constraints();
+
+        let (scaling, p, q, a) = if settings.scaling_iters > 0 {
+            let (sc, data) = Scaling::ruiz(problem.p(), problem.q(), problem.a(), settings.scaling_iters);
+            (sc, data.p, data.q, data.a)
+        } else {
+            (
+                Scaling::identity(n, m),
+                problem.p().clone(),
+                problem.q().to_vec(),
+                problem.a().clone(),
+            )
+        };
+        let (l, u) = scaling.scale_bounds(problem.l(), problem.u());
+        let rho_mgr = RhoManager::new(settings.rho, &l, &u);
+        let backend = factory(&p, &a, settings.sigma, rho_mgr.rho_vec(), &settings)?;
+        Ok(Solver {
+            settings,
+            orig: problem.clone(),
+            p,
+            q,
+            a,
+            l,
+            u,
+            scaling,
+            rho_mgr,
+            backend,
+            x: vec![0.0; n],
+            z: vec![0.0; m],
+            y: vec![0.0; m],
+            setup_time: start.elapsed(),
+        })
+    }
+
+    /// The problem this solver was set up for.
+    pub fn problem(&self) -> &QpProblem {
+        &self.orig
+    }
+
+    /// The active backend's name.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Warm-starts the iterates from an unscaled primal/dual guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn warm_start(&mut self, x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), self.x.len(), "warm-start x length");
+        assert_eq!(y.len(), self.y.len(), "warm-start y length");
+        self.x = self.scaling.scale_x(x);
+        self.y = self.scaling.scale_y(y);
+        self.a.spmv(&self.x, &mut self.z).expect("shapes fixed at setup");
+    }
+
+    /// Resets the iterates to zero (cold start).
+    pub fn cold_start(&mut self) {
+        self.x.fill(0.0);
+        self.z.fill(0.0);
+        self.y.fill(0.0);
+    }
+
+    /// Replaces the constraint bounds (same structure), re-deriving the
+    /// per-constraint ρ classification.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid bounds or a failed refactorization.
+    pub fn update_bounds(&mut self, l: Vec<f64>, u: Vec<f64>) -> Result<(), SolverError> {
+        self.orig.update_bounds(l, u)?;
+        let (ls, us) = self.scaling.scale_bounds(self.orig.l(), self.orig.u());
+        self.l = ls;
+        self.u = us;
+        let old = self.rho_mgr.rho_vec().to_vec();
+        self.rho_mgr.update_bounds(&self.l, &self.u);
+        if self.rho_mgr.rho_vec() != old.as_slice() {
+            self.backend.update_rho(self.rho_mgr.rho_vec())?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the values of `P` and/or `A` (same sparsity structure),
+    /// re-runs the equilibration on the new data, and pushes the refreshed
+    /// matrices into the backend — OSQP's `update_P_A`. The customized
+    /// architecture (which depends only on the structure) stays valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a replacement changes the structure or the
+    /// backend fails to refactorize.
+    pub fn update_matrices(
+        &mut self,
+        p_new: Option<CsrMatrix>,
+        a_new: Option<CsrMatrix>,
+    ) -> Result<(), SolverError> {
+        self.orig.update_matrices(p_new, a_new)?;
+        // Re-equilibrate on the new values.
+        let n = self.orig.num_vars();
+        let m = self.orig.num_constraints();
+        let (scaling, p, q, a) = if self.settings.scaling_iters > 0 {
+            let (sc, data) = Scaling::ruiz(
+                self.orig.p(),
+                self.orig.q(),
+                self.orig.a(),
+                self.settings.scaling_iters,
+            );
+            (sc, data.p, data.q, data.a)
+        } else {
+            (
+                Scaling::identity(n, m),
+                self.orig.p().clone(),
+                self.orig.q().to_vec(),
+                self.orig.a().clone(),
+            )
+        };
+        // Map current iterates into the new scaled space so warm starts
+        // survive the update.
+        let x_un = self.scaling.unscale_x(&self.x);
+        let y_un = self.scaling.unscale_y(&self.y);
+        self.scaling = scaling;
+        self.p = p;
+        self.q = q;
+        self.a = a;
+        let (ls, us) = self.scaling.scale_bounds(self.orig.l(), self.orig.u());
+        self.l = ls;
+        self.u = us;
+        self.x = self.scaling.scale_x(&x_un);
+        self.y = self.scaling.scale_y(&y_un);
+        self.a.spmv(&self.x, &mut self.z).expect("shapes fixed at setup");
+        self.backend
+            .update_matrices(&self.p, &self.a, self.rho_mgr.rho_vec())?;
+        Ok(())
+    }
+
+    /// Replaces the linear cost `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on length mismatch.
+    pub fn update_q(&mut self, q: Vec<f64>) -> Result<(), SolverError> {
+        self.orig.update_q(q)?;
+        // q̄ = c·D·q
+        self.q = self
+            .orig
+            .q()
+            .iter()
+            .zip(self.scaling.d())
+            .map(|(&v, &d)| v * d * self.scaling.c())
+            .collect();
+        Ok(())
+    }
+
+    /// Manually sets the base step size ρ̄ (OSQP's `update_rho`), rebuilding
+    /// the per-constraint vector and informing the backend. Disables nothing:
+    /// adaptive updates (if enabled) continue from the new value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive values or a failed backend
+    /// refactorization.
+    pub fn update_rho(&mut self, rho_bar: f64) -> Result<(), SolverError> {
+        if rho_bar <= 0.0 {
+            return Err(SolverError::InvalidSetting("rho must be positive".into()));
+        }
+        self.rho_mgr = RhoManager::new(rho_bar, &self.l, &self.u);
+        self.backend.update_rho(self.rho_mgr.rho_vec())?;
+        Ok(())
+    }
+
+    /// Runs the ADMM iteration until convergence, an infeasibility
+    /// certificate, or the iteration cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on backend failure (e.g. a refactorization
+    /// failing after a ρ update).
+    pub fn solve(&mut self) -> Result<SolveResult, SolverError> {
+        let t_start = Instant::now();
+        let mut kkt_time = Duration::ZERO;
+        let n = self.x.len();
+        let m = self.z.len();
+        let s = self.settings.clone();
+
+        let mut xtilde = vec![0.0; n];
+        let mut ztilde = vec![0.0; m];
+        let mut zcand = vec![0.0; m];
+        let mut prev_x = vec![0.0; n];
+        let mut prev_y = vec![0.0; m];
+        // Residual work buffers.
+        let mut ax = vec![0.0; m];
+        let mut px = vec![0.0; n];
+        let mut aty = vec![0.0; n];
+
+        let mut cg_eps = match s.cg_tolerance {
+            CgTolerance::Adaptive { start, .. } => {
+                self.backend.set_cg_tolerance(start);
+                start
+            }
+            CgTolerance::Fixed(e) => e,
+        };
+        let mut last_res = f64::INFINITY;
+
+        let mut status = Status::MaxIterationsReached;
+        let mut iterations = s.max_iter;
+        let mut last_info: Option<ResidualInfo> = None;
+        let mut last_rho_iter = 0usize;
+
+        for k in 1..=s.max_iter {
+            prev_x.copy_from_slice(&self.x);
+            prev_y.copy_from_slice(&self.y);
+
+            let t = Instant::now();
+            self.backend
+                .solve_kkt(&self.x, &self.z, &self.y, &self.q, &mut xtilde, &mut ztilde)?;
+            kkt_time += t.elapsed();
+
+            // x^{k+1} = α x̃ + (1−α) x^k        (Algorithm 1, line 5)
+            for j in 0..n {
+                self.x[j] = s.alpha * xtilde[j] + (1.0 - s.alpha) * self.x[j];
+            }
+            // z^{k+1} = Π(α z̃ + (1−α) z^k + ρ⁻¹ y^k)   (line 6)
+            // y^{k+1} = ρ ∘ (candidate − z^{k+1})        (line 7, rearranged)
+            let rho_inv = self.rho_mgr.rho_inv_vec();
+            let rho_vec = self.rho_mgr.rho_vec();
+            for i in 0..m {
+                zcand[i] = s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i]
+                    + rho_inv[i] * self.y[i];
+                self.z[i] = zcand[i].max(self.l[i]).min(self.u[i]);
+                self.y[i] = rho_vec[i] * (zcand[i] - self.z[i]);
+            }
+
+            let checking = k % s.check_termination == 0 || k == s.max_iter;
+            if !checking {
+                continue;
+            }
+
+            // Residuals (unscaled) from scaled intermediates.
+            self.a.spmv(&self.x, &mut ax).expect("shapes fixed at setup");
+            self.p.spmv(&self.x, &mut px).expect("shapes fixed at setup");
+            self.a
+                .spmv_transpose(&self.y, &mut aty)
+                .expect("shapes fixed at setup");
+            let info = residuals(
+                &self.scaling,
+                &ax,
+                &self.z,
+                &px,
+                &aty,
+                &self.q,
+                s.eps_abs,
+                s.eps_rel,
+            );
+            last_info = Some(info);
+
+            if info.converged() {
+                status = Status::Solved;
+                iterations = k;
+                break;
+            }
+
+            if let Some(limit) = s.time_limit {
+                if t_start.elapsed() >= limit {
+                    status = Status::TimeLimitReached;
+                    iterations = k;
+                    break;
+                }
+            }
+
+            if self.detect_primal_infeasible(&prev_y, s.eps_prim_inf) {
+                status = Status::PrimalInfeasible;
+                iterations = k;
+                break;
+            }
+            if self.detect_dual_infeasible(&prev_x, s.eps_dual_inf) {
+                status = Status::DualInfeasible;
+                iterations = k;
+                break;
+            }
+
+            if let CgTolerance::Adaptive { fraction, min, .. } = s.cg_tolerance {
+                // Monotone-decreasing inner tolerance tied to the outer
+                // residuals; if the outer iteration stalls (inexact solves
+                // holding it at a floor), force a 10x reduction — the
+                // cuOSQP-style reduction rule.
+                let res = info.prim.max(info.dual);
+                let mut proposal = fraction * (info.prim * info.dual).sqrt();
+                if res > 0.9 * last_res {
+                    proposal = proposal.min(cg_eps * 0.1);
+                }
+                cg_eps = proposal.min(cg_eps).max(min);
+                self.backend.set_cg_tolerance(cg_eps);
+                last_res = res;
+            }
+
+            if s.adaptive_rho && k - last_rho_iter >= s.adaptive_rho_interval {
+                let changed = self.rho_mgr.maybe_update(
+                    info.prim,
+                    info.prim_scale,
+                    info.dual,
+                    info.dual_scale,
+                    s.adaptive_rho_tolerance,
+                );
+                if changed {
+                    self.backend.update_rho(self.rho_mgr.rho_vec())?;
+                    last_rho_iter = k;
+                }
+            }
+        }
+
+        let mut x = self.scaling.unscale_x(&self.x);
+        let mut y = self.scaling.unscale_y(&self.y);
+        let mut z = self.scaling.unscale_z(&self.z);
+        let (mut prim_res, mut dual_res) = match last_info {
+            Some(i) => (i.prim, i.dual),
+            None => (f64::NAN, f64::NAN),
+        };
+        let mut polished = false;
+        if s.polish && status == Status::Solved {
+            if let Some(out) = crate::polish::polish(
+                &self.orig,
+                &y,
+                s.polish_delta,
+                s.polish_refine_iters,
+            )? {
+                // Accept only if both residuals improve (OSQP's rule).
+                if out.prim_res <= prim_res.max(1e-30) && out.dual_res <= dual_res.max(1e-30) {
+                    x = out.x;
+                    y = out.y;
+                    z = out.z;
+                    prim_res = out.prim_res;
+                    dual_res = out.dual_res;
+                    polished = true;
+                }
+            }
+        }
+        let objective = self.orig.objective(&x);
+        Ok(SolveResult {
+            status,
+            x,
+            y,
+            z,
+            objective,
+            iterations,
+            prim_res,
+            dual_res,
+            polished,
+            rho_updates: self.rho_mgr.updates(),
+            backend: self.backend.stats(),
+            timings: TimingBreakdown {
+                setup: self.setup_time,
+                solve: t_start.elapsed(),
+                kkt_solve: kkt_time,
+            },
+        })
+    }
+
+    fn detect_primal_infeasible(&self, prev_y: &[f64], eps: f64) -> bool {
+        let m = self.y.len();
+        if m == 0 {
+            return false;
+        }
+        // δȳ in scaled space, mapped to unscaled: δy = c⁻¹·E·δȳ.
+        let cinv = self.scaling.cinv();
+        let e = self.scaling.e();
+        let dinv = self.scaling.dinv();
+        let dy_scaled: Vec<f64> = self.y.iter().zip(prev_y).map(|(a, b)| a - b).collect();
+        let dy: Vec<f64> = dy_scaled
+            .iter()
+            .zip(e)
+            .map(|(&v, &ei)| cinv * ei * v)
+            .collect();
+        // Aᵀδy (unscaled) = c⁻¹·D⁻¹·Āᵀ·δȳ.
+        let mut at_dy = vec![0.0; self.x.len()];
+        self.a
+            .spmv_transpose(&dy_scaled, &mut at_dy)
+            .expect("shapes fixed at setup");
+        for (v, &di) in at_dy.iter_mut().zip(dinv) {
+            *v *= cinv * di;
+        }
+        primal_certificate(&dy, &at_dy, self.orig.l(), self.orig.u(), eps)
+    }
+
+    fn detect_dual_infeasible(&self, prev_x: &[f64], eps: f64) -> bool {
+        // δx̄ scaled; unscaled δx = D·δx̄.
+        let d = self.scaling.d();
+        let dinv = self.scaling.dinv();
+        let einv = self.scaling.einv();
+        let cinv = self.scaling.cinv();
+        let dx_scaled: Vec<f64> = self.x.iter().zip(prev_x).map(|(a, b)| a - b).collect();
+        let dx: Vec<f64> = dx_scaled.iter().zip(d).map(|(&v, &di)| v * di).collect();
+        // P·δx (unscaled) = c⁻¹·D⁻¹·P̄·δx̄.
+        let mut p_dx = vec![0.0; dx.len()];
+        self.p.spmv(&dx_scaled, &mut p_dx).expect("shapes fixed at setup");
+        for (v, &di) in p_dx.iter_mut().zip(dinv) {
+            *v *= cinv * di;
+        }
+        // A·δx (unscaled) = E⁻¹·Ā·δx̄.
+        let mut a_dx = vec![0.0; self.z.len()];
+        self.a.spmv(&dx_scaled, &mut a_dx).expect("shapes fixed at setup");
+        for (v, &ei) in a_dx.iter_mut().zip(einv) {
+            *v *= ei;
+        }
+        dual_certificate(&dx, &p_dx, &a_dx, self.orig.q(), self.orig.l(), self.orig.u(), eps)
+    }
+}

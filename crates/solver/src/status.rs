@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Residuals met the tolerances.
+    Solved,
+    /// The iteration cap was reached before the tolerances were met.
+    MaxIterationsReached,
+    /// The wall-clock budget was exhausted before the tolerances were met.
+    TimeLimitReached,
+    /// A primal-infeasibility certificate was found (`y` direction).
+    PrimalInfeasible,
+    /// A dual-infeasibility certificate was found (`x` direction, unbounded
+    /// objective).
+    DualInfeasible,
+}
+
+impl Status {
+    /// True when the returned iterate is an (approximate) optimizer.
+    pub fn is_solved(self) -> bool {
+        matches!(self, Status::Solved)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Solved => "solved",
+            Status::MaxIterationsReached => "maximum iterations reached",
+            Status::TimeLimitReached => "time limit reached",
+            Status::PrimalInfeasible => "primal infeasible",
+            Status::DualInfeasible => "dual infeasible",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_predicates() {
+        assert_eq!(Status::Solved.to_string(), "solved");
+        assert!(Status::Solved.is_solved());
+        assert!(!Status::PrimalInfeasible.is_solved());
+        assert!(Status::DualInfeasible.to_string().contains("dual"));
+    }
+}

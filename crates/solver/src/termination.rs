@@ -1,0 +1,137 @@
+//! Unscaled residual computation and termination tests.
+
+use rsqp_sparse::vec_ops;
+
+use crate::Scaling;
+
+/// Residuals and the norms needed by the ρ-adaptation rule, all in
+/// **unscaled** (original problem) space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResidualInfo {
+    /// Primal residual `‖Ax − z‖∞`.
+    pub prim: f64,
+    /// Dual residual `‖Px + q + Aᵀy‖∞`.
+    pub dual: f64,
+    /// Primal tolerance `eps_abs + eps_rel·max(‖Ax‖∞, ‖z‖∞)`.
+    pub eps_prim: f64,
+    /// Dual tolerance `eps_abs + eps_rel·max(‖Px‖∞, ‖Aᵀy‖∞, ‖q‖∞)`.
+    pub eps_dual: f64,
+    /// `max(‖Ax‖∞, ‖z‖∞)` — the primal normalization for ρ adaptation.
+    pub prim_scale: f64,
+    /// `max(‖Px‖∞, ‖Aᵀy‖∞, ‖q‖∞)` — the dual normalization.
+    pub dual_scale: f64,
+}
+
+impl ResidualInfo {
+    /// True when both residuals meet their tolerances.
+    pub fn converged(&self) -> bool {
+        self.prim <= self.eps_prim && self.dual <= self.eps_dual
+    }
+}
+
+/// Computes [`ResidualInfo`] from *scaled-space* intermediate products.
+///
+/// Inputs are the scaled quantities the solver already has on hand
+/// (`Āx̄`, `z̄`, `P̄x̄`, `Āᵀȳ`, `q̄`); the function performs the unscaling
+/// using `D⁻¹`, `E⁻¹` and `c⁻¹`.
+pub fn residuals(
+    scaling: &Scaling,
+    ax: &[f64],
+    z: &[f64],
+    px: &[f64],
+    aty: &[f64],
+    q: &[f64],
+    eps_abs: f64,
+    eps_rel: f64,
+) -> ResidualInfo {
+    let einv = scaling.einv();
+    let dinv = scaling.dinv();
+    let cinv = scaling.cinv();
+
+    // Primal: ‖E⁻¹(Āx̄ − z̄)‖∞ and its normalization.
+    let mut prim = 0.0f64;
+    let mut norm_ax = 0.0f64;
+    let mut norm_z = 0.0f64;
+    for i in 0..ax.len() {
+        prim = prim.max((einv[i] * (ax[i] - z[i])).abs());
+        norm_ax = norm_ax.max((einv[i] * ax[i]).abs());
+        norm_z = norm_z.max((einv[i] * z[i]).abs());
+    }
+
+    // Dual: c⁻¹·‖D⁻¹(P̄x̄ + q̄ + Āᵀȳ)‖∞ and its normalization.
+    let mut dual = 0.0f64;
+    let mut norm_px = 0.0f64;
+    let mut norm_aty = 0.0f64;
+    for j in 0..px.len() {
+        dual = dual.max((dinv[j] * (px[j] + q[j] + aty[j])).abs());
+        norm_px = norm_px.max((dinv[j] * px[j]).abs());
+        norm_aty = norm_aty.max((dinv[j] * aty[j]).abs());
+    }
+    dual *= cinv;
+    norm_px *= cinv;
+    norm_aty *= cinv;
+    let norm_q = cinv * vec_ops::scaled_inf_norm(dinv, q);
+
+    let prim_scale = norm_ax.max(norm_z);
+    let dual_scale = norm_px.max(norm_aty).max(norm_q);
+    ResidualInfo {
+        prim,
+        dual,
+        eps_prim: eps_abs + eps_rel * prim_scale,
+        eps_dual: eps_abs + eps_rel * dual_scale,
+        prim_scale,
+        dual_scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_requires_both_residuals() {
+        let mut r = ResidualInfo {
+            prim: 0.5,
+            dual: 0.5,
+            eps_prim: 1.0,
+            eps_dual: 1.0,
+            prim_scale: 1.0,
+            dual_scale: 1.0,
+        };
+        assert!(r.converged());
+        r.prim = 2.0;
+        assert!(!r.converged());
+        r.prim = 0.5;
+        r.dual = 2.0;
+        assert!(!r.converged());
+    }
+
+    #[test]
+    fn identity_scaling_residuals_match_hand_computation() {
+        let sc = Scaling::identity(2, 2);
+        let info = residuals(
+            &sc,
+            &[1.0, 2.0],  // Ax
+            &[1.0, 1.0],  // z
+            &[0.5, 0.0],  // Px
+            &[0.0, -0.5], // Aty
+            &[0.0, 0.25], // q
+            0.1,
+            0.1,
+        );
+        assert!((info.prim - 1.0).abs() < 1e-15); // |2-1|
+        assert!((info.dual - 0.5).abs() < 1e-15); // max(|0.5|, |-0.25|)
+        assert!((info.eps_prim - (0.1 + 0.1 * 2.0)).abs() < 1e-15);
+        assert!((info.eps_dual - (0.1 + 0.1 * 0.5)).abs() < 1e-15);
+        assert_eq!(info.prim_scale, 2.0);
+        assert_eq!(info.dual_scale, 0.5);
+    }
+
+    #[test]
+    fn empty_constraint_block_is_trivially_primal_feasible() {
+        let sc = Scaling::identity(2, 0);
+        let info = residuals(&sc, &[], &[], &[0.0, 0.0], &[0.0, 0.0], &[0.0, 0.0], 0.1, 0.1);
+        assert_eq!(info.prim, 0.0);
+        assert!(info.prim <= info.eps_prim);
+    }
+}

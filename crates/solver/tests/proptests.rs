@@ -1,0 +1,143 @@
+//! Property-based solver tests: on random strictly convex box-constrained
+//! QPs, the solver must converge and the KKT optimality conditions must
+//! hold at the reported solution, for both backends and with/without
+//! scaling.
+
+use proptest::prelude::*;
+use rsqp_solver::{LinSysKind, QpProblem, Settings, Solver, Status};
+use rsqp_sparse::CsrMatrix;
+
+/// Strategy: a random diagonally-dominant QP with box-ish constraints.
+fn arb_qp() -> impl Strategy<Value = QpProblem> {
+    (2usize..10, 1usize..10, 0u64..1_000_000).prop_map(|(n, m, seed)| {
+        // Deterministic construction from the seed (proptest shrinks seed).
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // in [-1, 1)
+        };
+        let mut pt = Vec::new();
+        let mut row_abs = vec![0.0f64; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() > 0.5 {
+                    let v = next();
+                    pt.push((i, j, v));
+                    pt.push((j, i, v));
+                    row_abs[i] += v.abs();
+                    row_abs[j] += v.abs();
+                }
+            }
+        }
+        for (i, &ra) in row_abs.iter().enumerate() {
+            pt.push((i, i, ra + 1.0 + next().abs()));
+        }
+        let p = CsrMatrix::from_triplets(n, n, pt);
+        let q: Vec<f64> = (0..n).map(|_| 2.0 * next()).collect();
+        let mut at = Vec::new();
+        for r in 0..m {
+            at.push((r, r % n, 1.0 + next().abs()));
+            if n > 1 {
+                at.push((r, (r + 1) % n, next()));
+            }
+        }
+        let a = CsrMatrix::from_triplets(m, n, at);
+        let l: Vec<f64> = (0..m).map(|_| -1.5 - next().abs()).collect();
+        let u: Vec<f64> = (0..m).map(|_| 1.5 + next().abs()).collect();
+        QpProblem::new(p, q, a, l, u).expect("constructed valid")
+    })
+}
+
+fn check_kkt(problem: &QpProblem, x: &[f64], y: &[f64], z: &[f64], tol: f64) -> Result<(), String> {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    // Stationarity.
+    let mut grad = vec![0.0; n];
+    problem.p().spmv(x, &mut grad).map_err(|e| e.to_string())?;
+    let mut aty = vec![0.0; n];
+    problem.a().spmv_transpose(y, &mut aty).map_err(|e| e.to_string())?;
+    for j in 0..n {
+        let g = grad[j] + problem.q()[j] + aty[j];
+        if g.abs() > tol {
+            return Err(format!("stationarity[{j}] = {g}"));
+        }
+    }
+    // Primal feasibility.
+    if problem.primal_infeasibility(x) > tol {
+        return Err(format!("primal infeasibility {}", problem.primal_infeasibility(x)));
+    }
+    // Dual sign conditions.
+    for i in 0..m {
+        if z[i] < problem.u()[i] - tol && y[i] > tol {
+            return Err(format!("y[{i}] > 0 at inactive upper bound"));
+        }
+        if z[i] > problem.l()[i] + tol && y[i] < -tol {
+            return Err(format!("y[{i}] < 0 at inactive lower bound"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn direct_backend_satisfies_kkt(problem in arb_qp()) {
+        let settings = Settings {
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            max_iter: 50_000,
+            polish: true,
+            ..Default::default()
+        };
+        let mut solver = Solver::new(&problem, settings).expect("setup");
+        let r = solver.solve().expect("solve");
+        prop_assert_eq!(r.status, Status::Solved);
+        if let Err(msg) = check_kkt(&problem, &r.x, &r.y, &r.z, 2e-4) {
+            prop_assert!(false, "KKT violated: {}", msg);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_objective(problem in arb_qp()) {
+        let tight = |kind| Settings {
+            linsys: kind,
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            max_iter: 50_000,
+            ..Default::default()
+        };
+        let rd = Solver::new(&problem, tight(LinSysKind::DirectLdlt))
+            .expect("setup")
+            .solve()
+            .expect("solve");
+        let ri = Solver::new(&problem, tight(LinSysKind::CpuPcg))
+            .expect("setup")
+            .solve()
+            .expect("solve");
+        prop_assert_eq!(rd.status, Status::Solved);
+        prop_assert_eq!(ri.status, Status::Solved);
+        let scale = 1.0 + rd.objective.abs();
+        prop_assert!(
+            (rd.objective - ri.objective).abs() < 1e-3 * scale,
+            "objectives {} vs {}", rd.objective, ri.objective
+        );
+    }
+
+    #[test]
+    fn scaling_does_not_change_the_answer(problem in arb_qp()) {
+        let base = Settings { eps_abs: 1e-7, eps_rel: 1e-7, max_iter: 50_000, ..Default::default() };
+        let with = Solver::new(&problem, base.clone()).expect("setup").solve().expect("solve");
+        let without = Solver::new(&problem, Settings { scaling_iters: 0, ..base })
+            .expect("setup")
+            .solve()
+            .expect("solve");
+        prop_assert_eq!(with.status, Status::Solved);
+        prop_assert_eq!(without.status, Status::Solved);
+        let scale = 1.0 + with.objective.abs();
+        prop_assert!(
+            (with.objective - without.objective).abs() < 1e-4 * scale,
+            "objectives {} vs {}", with.objective, without.objective
+        );
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for sparse-matrix construction and kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Operand shapes are incompatible (e.g. an SpMV where the vector length
+    /// does not match the number of matrix columns).
+    DimensionMismatch {
+        /// Short description of the operation that failed.
+        op: &'static str,
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension it actually received.
+        found: usize,
+    },
+    /// An index is outside the matrix bounds.
+    IndexOutOfBounds {
+        /// The offending row or column index.
+        index: usize,
+        /// The exclusive bound it must stay under.
+        bound: usize,
+    },
+    /// The raw CSR/CSC arrays do not describe a valid matrix (bad pointer
+    /// array length, decreasing pointers, unsorted or out-of-range indices).
+    InvalidStructure(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { op, expected, found } => {
+                write!(f, "dimension mismatch in {op}: expected {expected}, found {found}")
+            }
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            SparseError::InvalidStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SparseError::DimensionMismatch { op: "spmv", expected: 3, found: 4 };
+        assert!(e.to_string().contains("spmv"));
+        assert!(e.to_string().contains('3'));
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 5 };
+        assert!(e.to_string().contains('9'));
+        let e = SparseError::InvalidStructure("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

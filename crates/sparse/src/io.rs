@@ -1,0 +1,190 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! Supports the `matrix coordinate real general|symmetric` formats, which
+//! covers the matrices of the QP benchmark ecosystems (SuiteSparse, the
+//! OSQP benchmark dumps). Symmetric inputs are expanded to full storage on
+//! read, matching how this workspace stores `P`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{CooMatrix, CsrMatrix, SparseError};
+
+/// Writes a matrix in `matrix coordinate real general` format (1-based
+/// indices, one entry per line).
+///
+/// # Errors
+///
+/// Propagates I/O errors. A mutable reference also works as the writer.
+pub fn write_matrix_market<W: Write>(m: &CsrMatrix, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by rsqp-sparse")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for i in 0..m.nrows() {
+        let (cols, vals) = m.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{} {} {:?}", i + 1, j + 1, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a `matrix coordinate real` file (general or symmetric).
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidStructure`] for malformed headers, counts,
+/// or out-of-range indices; I/O errors are mapped to the same variant with
+/// the underlying message.
+pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrMatrix, SparseError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::InvalidStructure("empty file".into()))?
+        .map_err(io_err)?;
+    let header_l = header.to_lowercase();
+    if !header_l.starts_with("%%matrixmarket matrix coordinate real") {
+        return Err(SparseError::InvalidStructure(format!(
+            "unsupported MatrixMarket header: {header}"
+        )));
+    }
+    let symmetric = header_l.contains("symmetric");
+    if !symmetric && !header_l.contains("general") {
+        return Err(SparseError::InvalidStructure(
+            "only general and symmetric layouts are supported".into(),
+        ));
+    }
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(io_err)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line =
+        size_line.ok_or_else(|| SparseError::InvalidStructure("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| SparseError::InvalidStructure(format!("bad size line: {size_line}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::InvalidStructure(format!("bad size line: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(io_err)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (i, j, v) = match (it.next(), it.next(), it.next()) {
+            (Some(i), Some(j), Some(v)) => (i, j, v),
+            _ => return Err(SparseError::InvalidStructure(format!("bad entry line: {t}"))),
+        };
+        let i: usize = i
+            .parse()
+            .map_err(|_| SparseError::InvalidStructure(format!("bad row index: {t}")))?;
+        let j: usize = j
+            .parse()
+            .map_err(|_| SparseError::InvalidStructure(format!("bad column index: {t}")))?;
+        let v: f64 = v
+            .parse()
+            .map_err(|_| SparseError::InvalidStructure(format!("bad value: {t}")))?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(SparseError::IndexOutOfBounds { index: i.max(j), bound: nrows.max(ncols) + 1 });
+        }
+        coo.push(i - 1, j - 1, v);
+        if symmetric && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::InvalidStructure(format!(
+            "size line promised {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+fn io_err(e: std::io::Error) -> SparseError {
+    SparseError::InvalidStructure(format!("I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.5), (0, 3, -2.0), (2, 1, 0.25)],
+        );
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_symmetric_as_full() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn values_survive_exactly() {
+        // {:?} prints f64 with round-trip precision.
+        let m = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 0.1 + 0.2)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!(back.get(0, 0).to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn preserves_explicit_dims_with_empty_rows() {
+        let m = CsrMatrix::from_triplets(5, 7, vec![(4, 6, 1.0)]);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(buf.as_slice()).unwrap();
+        assert_eq!((back.nrows(), back.ncols()), (5, 7));
+    }
+}

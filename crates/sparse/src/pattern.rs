@@ -1,0 +1,117 @@
+//! Sparsity-pattern statistics.
+//!
+//! The RSQP customization framework keys entirely on the *structure* of the
+//! problem matrices (locations of non-zeros, not their values). This module
+//! provides the structural summaries the encoding layer consumes.
+
+use crate::CsrMatrix;
+
+/// Summary statistics of a matrix sparsity pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Total stored entries.
+    pub nnz: usize,
+    /// Maximum row population.
+    pub max_row_nnz: usize,
+    /// Minimum row population.
+    pub min_row_nnz: usize,
+    /// Mean row population.
+    pub mean_row_nnz: f64,
+    /// Histogram over `⌈log₂(nnz_row)⌉` buckets: index `k` counts rows with
+    /// `nnz_row` in `(2^(k-1), 2^k]` (index 0 counts rows with ≤ 1 entry).
+    pub log2_histogram: Vec<usize>,
+}
+
+/// Computes [`PatternStats`] for a matrix.
+pub fn stats(m: &CsrMatrix) -> PatternStats {
+    let counts = m.row_nnz_counts();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let min = counts.iter().copied().min().unwrap_or(0);
+    let mean = if counts.is_empty() {
+        0.0
+    } else {
+        counts.iter().sum::<usize>() as f64 / counts.len() as f64
+    };
+    let nbuckets = log2_bucket(max.max(1)) + 1;
+    let mut hist = vec![0usize; nbuckets];
+    for &c in &counts {
+        hist[log2_bucket(c)] += 1;
+    }
+    PatternStats {
+        nrows: m.nrows(),
+        ncols: m.ncols(),
+        nnz: m.nnz(),
+        max_row_nnz: max,
+        min_row_nnz: min,
+        mean_row_nnz: mean,
+        log2_histogram: hist,
+    }
+}
+
+/// Bucket index `⌈log₂(max(n, 1))⌉`: rows with 0 or 1 entries map to bucket
+/// 0, 2 entries to bucket 1, 3–4 to bucket 2, 5–8 to bucket 3, …
+pub fn log2_bucket(n: usize) -> usize {
+    let n = n.max(1);
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// True if two matrices have identical sparsity structure (shape and stored
+/// coordinates), irrespective of values.
+///
+/// Architectures generated for one instance of a parametric problem apply to
+/// every instance with the same structure — this predicate is the check that
+/// gates architecture reuse.
+pub fn same_structure(a: &CsrMatrix, b: &CsrMatrix) -> bool {
+    a.nrows() == b.nrows()
+        && a.ncols() == b.ncols()
+        && a.indptr() == b.indptr()
+        && a.indices() == b.indices()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(5), 3);
+        assert_eq!(log2_bucket(8), 3);
+        assert_eq!(log2_bucket(9), 4);
+        assert_eq!(log2_bucket(64), 6);
+        assert_eq!(log2_bucket(65), 7);
+    }
+
+    #[test]
+    fn stats_of_small_matrix() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0), (2, 3, 1.0)],
+        );
+        let s = stats(&m);
+        assert_eq!(s.nnz, 5);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 1);
+        assert!((s.mean_row_nnz - 5.0 / 3.0).abs() < 1e-12);
+        // rows: 3 -> bucket 2, 1 -> bucket 0, 1 -> bucket 0
+        assert_eq!(s.log2_histogram, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn structure_comparison_ignores_values() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 9.0), (1, 1, -1.0)]);
+        let c = CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 1, 2.0)]);
+        assert!(same_structure(&a, &b));
+        assert!(!same_structure(&a, &c));
+    }
+}

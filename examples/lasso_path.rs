@@ -1,0 +1,36 @@
+//! Lasso regularization path: sweep λ on one lasso instance by updating the
+//! linear cost, warm-starting each solve from the previous one.
+//!
+//! Run with `cargo run --release --example lasso_path`.
+
+use rsqp::problems::lasso;
+use rsqp::solver::{Settings, Solver, Status};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8;
+    let qp = lasso::generate(n, 3);
+    let ms = n * lasso::SAMPLES_PER_FEATURE;
+    let t_off = n + ms;
+    println!("lasso problem: {} features, {} samples, {} variables", n, ms, qp.num_vars());
+
+    // The generated q has λ on the t-block; recover it.
+    let lambda_max = qp.q()[t_off];
+    let mut solver = Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
+
+    println!("\n    λ/λ₀     nonzeros   |x|₁        iters");
+    for step in 0..8 {
+        let scale = 1.0 / (1.6f64).powi(step);
+        let mut q = qp.q().to_vec();
+        for qi in q.iter_mut().skip(t_off) {
+            *qi = lambda_max * scale;
+        }
+        solver.update_q(q)?;
+        let r = solver.solve()?;
+        assert_eq!(r.status, Status::Solved);
+        let nz = r.x[..n].iter().filter(|v| v.abs() > 1e-4).count();
+        let l1: f64 = r.x[..n].iter().map(|v| v.abs()).sum();
+        println!("  {scale:>7.4}    {nz:>6}     {l1:>8.5}   {:>6}", r.iterations);
+    }
+    println!("\nsmaller λ admits more non-zero coefficients, as expected");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Model-predictive control: the receding-horizon loop the paper's control
+//! benchmark comes from.
+//!
+//! A random linear system is regulated to the origin by re-solving the same
+//! QP *structure* at every time step with a new initial state — exactly the
+//! parametric-reuse pattern that amortizes RSQP's hardware generation.
+//!
+//! Run with `cargo run --release --example mpc_control`.
+
+use rsqp::problems::control;
+use rsqp::solver::{Settings, Solver, Status};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nx = 4;
+    let qp = control::generate(nx, 7);
+    println!(
+        "MPC problem: {} variables, {} constraints, horizon {}",
+        qp.num_vars(),
+        qp.num_constraints(),
+        control::HORIZON
+    );
+
+    let mut solver = Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
+
+    // The first nx constraint rows pin x_0 = x_init; simulate a closed loop
+    // by updating those bounds with the "measured" state each step.
+    let mut state: Vec<f64> = (0..nx).map(|i| 0.8 - 0.3 * i as f64).collect();
+    let mut total_iters = 0;
+    println!("\n step   |x|_inf      solver iters (warm-started)");
+    for step in 0..10 {
+        let mut l = qp.l().to_vec();
+        let mut u = qp.u().to_vec();
+        l[..nx].copy_from_slice(&state);
+        u[..nx].copy_from_slice(&state);
+        solver.update_bounds(l, u)?;
+        let r = solver.solve()?;
+        assert_eq!(r.status, Status::Solved, "MPC step {step} failed");
+        total_iters += r.iterations;
+
+        // Apply the first predicted state transition: the optimizer's x_1.
+        state = r.x[nx..2 * nx].to_vec();
+        let norm = state.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        println!("  {step:>3}   {norm:>8.5}    {:>5}", r.iterations);
+    }
+    println!("\nstate regulated toward origin; {total_iters} total ADMM iterations across 10 steps");
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Sequential Quadratic Programming on top of the QP solver — the paper's
+//! intro motivates general-purpose QP acceleration partly through "the
+//! optimization subproblems solved when using the SQP method" (§1).
+//!
+//! We minimize the chained Rosenbrock function subject to a budget equality
+//! and box constraints:
+//!
+//! ```text
+//! minimize   Σ_{i<n-1} 100 (x_{i+1} − x_i²)² + (1 − x_i)²
+//! subject to Σ x_i = n/2,   −2 ≤ x_i ≤ 2
+//! ```
+//!
+//! Each SQP iteration solves a convexified QP subproblem
+//! `min ½ dᵀHd + gᵀd  s.t.  A(x+d) ∈ [l, u]` with a Gershgorin-regularized
+//! Hessian, re-using one `Solver` via `update_matrices`/`update_q` — the
+//! same-structure parametric pattern RSQP's architecture reuse relies on.
+//!
+//! Run with `cargo run --release --example sqp_nonlinear`.
+
+use rsqp::solver::{QpProblem, Settings, Solver, Status};
+use rsqp::sparse::{CooMatrix, CsrMatrix};
+
+fn rosenbrock(x: &[f64]) -> f64 {
+    let n = x.len();
+    (0..n - 1)
+        .map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
+        .sum()
+}
+
+fn gradient(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut g = vec![0.0; n];
+    for i in 0..n - 1 {
+        let t = x[i + 1] - x[i] * x[i];
+        g[i] += -400.0 * t * x[i] - 2.0 * (1.0 - x[i]);
+        g[i + 1] += 200.0 * t;
+    }
+    g
+}
+
+/// Tridiagonal Hessian of the chained Rosenbrock, regularized to be
+/// positive definite via a Gershgorin shift.
+fn hessian(x: &[f64]) -> CsrMatrix {
+    let n = x.len();
+    let mut diag = vec![0.0; n];
+    let mut off = vec![0.0; n - 1];
+    for i in 0..n - 1 {
+        diag[i] += -400.0 * (x[i + 1] - 3.0 * x[i] * x[i]) + 2.0;
+        diag[i + 1] += 200.0;
+        off[i] = -400.0 * x[i];
+    }
+    // Gershgorin: lambda_min >= min_i (diag_i - |row off-diagonals|).
+    let mut shift = 0.0f64;
+    for i in 0..n {
+        let mut radius = 0.0;
+        if i > 0 {
+            radius += off[i - 1].abs();
+        }
+        if i < n - 1 {
+            radius += off[i].abs();
+        }
+        shift = shift.max(radius - diag[i]);
+    }
+    let shift = shift + 1.0;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, diag[i] + shift);
+    }
+    for i in 0..n - 1 {
+        coo.push(i, i + 1, off[i]);
+        coo.push(i + 1, i, off[i]);
+    }
+    coo.to_csr()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 12;
+    let budget = n as f64 / 2.0;
+    let mut x = vec![0.0; n];
+    // Start feasible: x_i = budget / n.
+    for xi in &mut x {
+        *xi = budget / n as f64;
+    }
+
+    // Constraint matrix is constant across SQP iterations: budget row + box.
+    let mut a = CooMatrix::new(1 + n, n);
+    for j in 0..n {
+        a.push(0, j, 1.0);
+    }
+    for j in 0..n {
+        a.push(1 + j, j, 1.0);
+    }
+    let a = a.to_csr();
+
+    // Initial QP subproblem (values refreshed every iteration).
+    let qp = QpProblem::new(
+        hessian(&x),
+        gradient(&x),
+        a.clone(),
+        bounds_l(&x, budget),
+        bounds_u(&x, budget),
+    )?;
+    let mut solver = Solver::new(
+        &qp,
+        Settings { eps_abs: 1e-7, eps_rel: 1e-7, max_iter: 20_000, polish: true, ..Default::default() },
+    )?;
+
+    println!(" iter     f(x)        |step|      QP iters");
+    let mut f_prev = rosenbrock(&x);
+    for iter in 0..40 {
+        solver.update_matrices(Some(hessian(&x)), None)?;
+        solver.update_q(gradient(&x))?;
+        solver.update_bounds(bounds_l(&x, budget), bounds_u(&x, budget))?;
+        let r = solver.solve()?;
+        assert_eq!(r.status, Status::Solved, "QP subproblem failed");
+        let d = r.x;
+        // Backtracking line search on f along d (constraints are linear, so
+        // feasibility is preserved for t in [0, 1]).
+        let mut t = 1.0;
+        let f0 = rosenbrock(&x);
+        let g0: f64 = gradient(&x).iter().zip(&d).map(|(g, d)| g * d).sum();
+        let mut accepted = false;
+        for _ in 0..30 {
+            let xt: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + t * di).collect();
+            if rosenbrock(&xt) <= f0 + 1e-4 * t * g0 {
+                x = xt;
+                accepted = true;
+                break;
+            }
+            t *= 0.5;
+        }
+        let step: f64 = d.iter().map(|v| (t * v).abs()).fold(0.0, f64::max);
+        let f = rosenbrock(&x);
+        println!("  {iter:>3}  {f:>12.6}  {step:>9.2e}  {:>8}", r.iterations);
+        if !accepted || (f_prev - f).abs() < 1e-12 && step < 1e-10 {
+            break;
+        }
+        if step < 1e-10 {
+            break;
+        }
+        f_prev = f;
+    }
+    let sum: f64 = x.iter().sum();
+    println!("\nfinal objective {:.8}, budget constraint: sum = {sum:.6} (target {budget})", rosenbrock(&x));
+    assert!((sum - budget).abs() < 1e-5, "budget must hold");
+    Ok(())
+}
+
+fn bounds_l(x: &[f64], budget: f64) -> Vec<f64> {
+    // Bounds on d: budget row equality sum(x+d)=budget -> sum d = budget-sum x;
+    // box -2 <= x+d <= 2 -> -2-x <= d.
+    let sum: f64 = x.iter().sum();
+    let mut l = vec![budget - sum];
+    l.extend(x.iter().map(|xi| -2.0 - xi));
+    l
+}
+
+fn bounds_u(x: &[f64], budget: f64) -> Vec<f64> {
+    let sum: f64 = x.iter().sum();
+    let mut u = vec![budget - sum];
+    u.extend(x.iter().map(|xi| 2.0 - xi));
+    u
+}

@@ -1,0 +1,47 @@
+//! **rsqp** — a reproduction of *"RSQP: Problem-specific Architectural
+//! Customization for Accelerated Convex Quadratic Optimization"*
+//! (ISCA 2023).
+//!
+//! This facade crate re-exports the whole workspace. The layering:
+//!
+//! * [`sparse`] — CSR/CSC/COO matrices and vector kernels,
+//! * [`linsys`] — LDLᵀ factorization, KKT assembly, PCG,
+//! * [`solver`] — the OSQP-style ADMM solver with pluggable KKT backends,
+//! * [`problems`] — the 6-domain, 120-problem benchmark generators,
+//! * [`encode`] — sparsity-string encoding and MAC-structure search (`E_p`),
+//! * [`cvb`] — compressed-vector-buffer First-Fit compression (`E_c`),
+//! * [`arch`] — the cycle-level simulator of the FPGA architecture,
+//! * [`core`] — the customization pipeline, η metric, simulated-FPGA
+//!   backend, and performance/power models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rsqp::solver::{QpProblem, Settings, Solver, Status};
+//! use rsqp::sparse::CsrMatrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let p = CsrMatrix::from_dense(&[vec![2.0, 0.0], vec![0.0, 2.0]]);
+//! let a = CsrMatrix::from_dense(&[vec![1.0, 1.0]]);
+//! let qp = QpProblem::new(p, vec![-2.0, -6.0], a, vec![1.0], vec![1.0])?;
+//! let mut solver = Solver::new(&qp, Settings::default())?;
+//! let result = solver.solve()?;
+//! assert_eq!(result.status, Status::Solved);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the accelerator-customization flow and the paper's
+//! application scenarios, and `crates/bench` for the per-figure harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rsqp_arch as arch;
+pub use rsqp_core as core;
+pub use rsqp_cvb as cvb;
+pub use rsqp_encode as encode;
+pub use rsqp_linsys as linsys;
+pub use rsqp_problems as problems;
+pub use rsqp_solver as solver;
+pub use rsqp_sparse as sparse;
