@@ -63,6 +63,53 @@ impl Default for CostModel {
     }
 }
 
+/// Deterministic, seed-driven fault injection for the cycle-level machine.
+///
+/// Models single-event upsets as single-bit flips in the IEEE-754
+/// representation of a datum. Two strike sites are modeled, matching where
+/// the real accelerator's data actually moves:
+///
+/// * **HBM reads** — each [`crate::Instr::LoadHbm`] flips one uniformly
+///   chosen bit of one uniformly chosen element of the transferred vector
+///   with probability `hbm_read_flip_prob`;
+/// * **MAC outputs** — each [`crate::Instr::Spmv`] flips one bit of one
+///   element of the freshly computed output vector with probability
+///   `mac_output_flip_prob`.
+///
+/// All randomness comes from a SplitMix64 stream seeded by `seed`, so a
+/// given (program, config, seed) triple reproduces the exact same fault
+/// pattern on every run — a requirement for regression-testing the solve
+/// pipeline's recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Per-`LoadHbm` probability of corrupting the transferred vector.
+    pub hbm_read_flip_prob: f64,
+    /// Per-`Spmv` probability of corrupting the output vector.
+    pub mac_output_flip_prob: f64,
+}
+
+impl FaultConfig {
+    /// A fault stream with the given seed and zero strike probability; use
+    /// the `with_*` builders to arm the strike sites.
+    pub fn new(seed: u64) -> Self {
+        FaultConfig { seed, hbm_read_flip_prob: 0.0, mac_output_flip_prob: 0.0 }
+    }
+
+    /// Sets the per-`LoadHbm` flip probability.
+    pub fn with_hbm_read_flips(mut self, prob: f64) -> Self {
+        self.hbm_read_flip_prob = prob;
+        self
+    }
+
+    /// Sets the per-`Spmv` flip probability.
+    pub fn with_mac_output_flips(mut self, prob: f64) -> Self {
+        self.mac_output_flip_prob = prob;
+        self
+    }
+}
+
 /// A concrete architecture instance: datapath width `C`, the customized MAC
 /// structure set `S`, and the cost model.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +120,7 @@ pub struct ArchConfig {
     cvb: CvbPolicy,
     scheduler: SchedulePolicy,
     single_precision: bool,
+    fault: Option<FaultConfig>,
 }
 
 impl ArchConfig {
@@ -85,6 +133,7 @@ impl ArchConfig {
             cvb: CvbPolicy::FirstFit,
             scheduler: SchedulePolicy::Greedy,
             single_precision: false,
+            fault: None,
         }
     }
 
@@ -139,6 +188,18 @@ impl ArchConfig {
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Arms the deterministic fault-injection harness. Pass `None` (the
+    /// default) for a fault-free machine.
+    pub fn with_fault_injection(mut self, fault: Option<FaultConfig>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The fault-injection configuration, if armed.
+    pub fn fault(&self) -> Option<FaultConfig> {
+        self.fault
     }
 
     /// Datapath width `C`.

@@ -28,11 +28,7 @@ pub struct HbmModel {
 impl HbmModel {
     /// The AMD-Xilinx U50 configuration used in the paper (Table 2).
     pub fn u50() -> Self {
-        HbmModel {
-            channels: 32,
-            channel_bw: 6.3e9,
-            channel_capacity: (8usize << 30) / 32,
-        }
+        HbmModel { channels: 32, channel_bw: 6.3e9, channel_capacity: (8usize << 30) / 32 }
     }
 
     /// Number of channels needed to stream `c` non-zeros per cycle at

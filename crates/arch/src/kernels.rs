@@ -148,19 +148,7 @@ pub fn build_pcg(
     pb.push(Instr::Spmv { matrix: a, input: x, output: ztilde });
 
     let program = pb.build().expect("PCG kernel builder is loop-balanced");
-    PcgKernel {
-        program,
-        x,
-        z,
-        y,
-        q,
-        rho_vec,
-        minv,
-        ztilde,
-        sigma,
-        eps,
-        eps_abs_sq,
-    }
+    PcgKernel { program, x, z, y, q, rho_vec, minv, ztilde, sigma, eps, eps_abs_sq }
 }
 
 /// Emits `out = P·v + σ·v + Aᵀ(ρ∘(A·v))`.
@@ -257,13 +245,8 @@ mod tests {
         machine.run(&k.program).unwrap();
 
         // Reference: dense solve of (P + σI + Aᵀdiag(ρ)A)x = rhs.
-        let kk = [
-            [
-                4.0 + sigma + rho[0] + rho[1],
-                1.0 + rho[0],
-            ],
-            [1.0 + rho[0], 2.0 + sigma + rho[0]],
-        ];
+        let kk =
+            [[4.0 + sigma + rho[0] + rho[1], 1.0 + rho[0]], [1.0 + rho[0], 2.0 + sigma + rho[0]]];
         let rhs = [
             sigma * xv[0] - qv[0] + (rho[0] * zv[0] - yv[0]) + (rho[1] * zv[1] - yv[1]),
             sigma * xv[1] - qv[1] + (rho[0] * zv[0] - yv[0]),
@@ -411,19 +394,7 @@ pub fn build_admm_update(machine: &mut Machine, n: usize, m: usize) -> AdmmUpdat
     pb.push(Instr::EwMul { dst: y, a: rho_vec, b: w });
 
     let program = pb.build().expect("straight-line program");
-    AdmmUpdateKernel {
-        program,
-        x,
-        xtilde,
-        z,
-        ztilde,
-        y,
-        rho_vec,
-        rho_inv_vec,
-        l,
-        u,
-        alpha,
-    }
+    AdmmUpdateKernel { program, x, xtilde, z, ztilde, y, rho_vec, rho_inv_vec, l, u, alpha }
 }
 
 #[cfg(test)]

@@ -37,11 +37,11 @@ pub mod hbm;
 mod isa;
 pub mod kernels;
 mod machine;
-pub mod rom;
 mod program;
 mod resources;
+pub mod rom;
 
-pub use config::{ArchConfig, CostModel, CvbPolicy, SchedulePolicy};
+pub use config::{ArchConfig, CostModel, CvbPolicy, FaultConfig, SchedulePolicy};
 pub use error::ArchError;
 pub use isa::{Instr, MatrixId, SReg, ScalarOp, VecId};
 pub use machine::{CycleBreakdown, Machine, RunStats};

@@ -57,6 +57,9 @@ pub struct RunStats {
     pub instructions: u64,
     /// Hardware-loop trips taken.
     pub loop_trips: u64,
+    /// Bit flips injected by the fault harness (0 unless armed via
+    /// [`crate::FaultConfig`]).
+    pub faults: u64,
 }
 
 /// One matrix resident in (simulated) HBM with its customization artifacts.
@@ -84,11 +87,14 @@ pub struct Machine {
     matrices: Vec<MatrixUnit>,
     stats: RunStats,
     lane_exact: bool,
+    /// SplitMix64 state of the fault-injection stream.
+    fault_rng: u64,
 }
 
 impl Machine {
     /// Creates a machine with the given architecture configuration.
     pub fn new(config: ArchConfig) -> Self {
+        let fault_rng = config.fault().map_or(0, |f| f.seed);
         Machine {
             config,
             vecs: Vec::new(),
@@ -97,6 +103,7 @@ impl Machine {
             matrices: Vec::new(),
             stats: RunStats::default(),
             lane_exact: false,
+            fault_rng,
         }
     }
 
@@ -192,8 +199,7 @@ impl Machine {
     pub fn update_matrix_values(&mut self, id: MatrixId, m: &CsrMatrix) {
         let unit = &mut self.matrices[id.0];
         assert!(
-            rsqp_encode::SparsityString::encode(m, self.config.c()).chars()
-                == unit.string.chars()
+            rsqp_encode::SparsityString::encode(m, self.config.c()).chars() == unit.string.chars()
                 && unit.csr.indptr() == m.indptr()
                 && unit.csr.indices() == m.indices(),
             "matrix value update changed the sparsity structure"
@@ -287,7 +293,21 @@ impl Machine {
                 self.round_scalar(dst);
                 Ok(cost.scalar_latency)
             }
-            Instr::LoadHbm { vec } | Instr::StoreHbm { vec } => {
+            Instr::LoadHbm { vec } => {
+                self.check_vec(vec)?;
+                // An HBM read is where a memory upset becomes visible: the
+                // corrupted word lands in the vector buffer silently (no
+                // version bump — downstream consumers cannot tell).
+                if let Some((idx, bit)) =
+                    self.fault_draw(|f| f.hbm_read_flip_prob, self.vecs[vec.0].len())
+                {
+                    let v = &mut self.vecs[vec.0][idx];
+                    *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
+                    self.stats.faults += 1;
+                }
+                Ok(self.config.transfer_cycles(self.vecs[vec.0].len()))
+            }
+            Instr::StoreHbm { vec } => {
                 self.check_vec(vec)?;
                 Ok(self.config.transfer_cycles(self.vecs[vec.0].len()))
             }
@@ -376,21 +396,60 @@ impl Machine {
                         found: self.vecs[output.0].len(),
                     });
                 }
-                let result = if self.lane_exact {
+                let mut result = if self.lane_exact {
                     spmv_via_datapath(unit, self.config.set(), &self.vecs[input.0])
                 } else {
                     let mut y = vec![0.0; unit.csr.nrows()];
-                    unit.csr
-                        .spmv(&self.vecs[input.0], &mut y)
-                        .expect("lengths checked above");
+                    unit.csr.spmv(&self.vecs[input.0], &mut y).expect("lengths checked above");
                     y
                 };
                 let cycles = cost.spmv_latency + unit.schedule.cycles() as u64;
+                // A MAC-tree upset corrupts one freshly reduced output word.
+                if let Some((idx, bit)) = self.fault_draw(|f| f.mac_output_flip_prob, result.len())
+                {
+                    result[idx] = f64::from_bits(result[idx].to_bits() ^ (1u64 << bit));
+                    self.stats.faults += 1;
+                }
                 self.vecs[output.0] = result;
                 self.bump(output);
                 Ok(cycles)
             }
         }
+    }
+
+    /// Decides whether the current instruction suffers a bit flip.
+    ///
+    /// Returns the (element index, bit position) of the strike, or `None`
+    /// when fault injection is disarmed or the dice spare this instruction.
+    /// Consumes exactly one stream draw per armed strike site, so fault
+    /// patterns are a pure function of `(program, FaultConfig)`.
+    fn fault_draw(
+        &mut self,
+        prob_of: impl Fn(&crate::FaultConfig) -> f64,
+        len: usize,
+    ) -> Option<(usize, u32)> {
+        let fault = self.config.fault()?;
+        let prob = prob_of(&fault);
+        if prob <= 0.0 || len == 0 {
+            return None;
+        }
+        // Uniform in [0, 1) from the top 53 bits.
+        let unit = (self.next_fault_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if unit >= prob {
+            return None;
+        }
+        let idx = (self.next_fault_u64() % len as u64) as usize;
+        let bit = (self.next_fault_u64() % 64) as u32;
+        Some((idx, bit))
+    }
+
+    /// SplitMix64 step of the fault stream.
+    fn next_fault_u64(&mut self) -> u64 {
+        self.fault_rng = self.fault_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.fault_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     fn bump(&mut self, id: VecId) {
@@ -429,7 +488,13 @@ impl Machine {
         Ok(())
     }
 
-    fn binary_lengths(&self, name: &str, dst: VecId, a: VecId, b: VecId) -> Result<usize, ArchError> {
+    fn binary_lengths(
+        &self,
+        name: &str,
+        dst: VecId,
+        a: VecId,
+        b: VecId,
+    ) -> Result<usize, ArchError> {
         self.check_vec(dst)?;
         self.check_vec(a)?;
         self.check_vec(b)?;
@@ -452,11 +517,7 @@ impl Machine {
 /// sound), multiplying lane-wise, and reducing per slot — the computation
 /// the customized MAC tree performs, including the `$`-chunk partial-sum
 /// accumulation.
-fn spmv_via_datapath(
-    unit: &MatrixUnit,
-    set: &rsqp_encode::StructureSet,
-    x: &[f64],
-) -> Vec<f64> {
+fn spmv_via_datapath(unit: &MatrixUnit, set: &rsqp_encode::StructureSet, x: &[f64]) -> Vec<f64> {
     let banks = unit.layout.bank_contents(&unit.access);
     let mut y = vec![0.0; unit.csr.nrows()];
     // Rows split across packs ($ chunks) accumulate partial sums into y —
@@ -472,10 +533,8 @@ fn spmv_via_datapath(
                 let j = cols[src.offset + t];
                 let lane = lane0 + t;
                 // Fetch through the CVB index translation.
-                let addr = unit
-                    .layout
-                    .addr_of(j)
-                    .expect("accessed element must be stored") as usize;
+                let addr =
+                    unit.layout.addr_of(j).expect("accessed element must be stored") as usize;
                 let served = banks[lane][addr].expect("bank must serve this element");
                 assert_eq!(served, j, "CVB translation fetched the wrong element");
                 acc += vals[src.offset + t] * x[served];
@@ -588,10 +647,7 @@ mod tests {
         m.write_vec(x, &[3.0, 4.0]);
         let mut pb2 = ProgramBuilder::new();
         pb2.push(Instr::Spmv { matrix: mat, input: x, output: y });
-        assert!(matches!(
-            m.run(&pb2.build().unwrap()),
-            Err(ArchError::StaleCvb { .. })
-        ));
+        assert!(matches!(m.run(&pb2.build().unwrap()), Err(ArchError::StaleCvb { .. })));
     }
 
     #[test]
@@ -623,10 +679,7 @@ mod tests {
         pb.push(Instr::SetScalar { dst: b, value: 0.0 });
         pb.loop_end_if_less(a, b);
         pb.max_trips(3);
-        assert!(matches!(
-            m.run(&pb.build().unwrap()),
-            Err(ArchError::LoopCapReached { cap: 3 })
-        ));
+        assert!(matches!(m.run(&pb.build().unwrap()), Err(ArchError::LoopCapReached { cap: 3 })));
     }
 
     #[test]
@@ -636,10 +689,7 @@ mod tests {
         let b = m.alloc_vec(3);
         let mut pb = ProgramBuilder::new();
         pb.push(Instr::EwMul { dst: a, a, b });
-        assert!(matches!(
-            m.run(&pb.build().unwrap()),
-            Err(ArchError::LengthMismatch { .. })
-        ));
+        assert!(matches!(m.run(&pb.build().unwrap()), Err(ArchError::LengthMismatch { .. })));
     }
 
     #[test]
@@ -670,14 +720,94 @@ mod tests {
         assert_eq!(m.stats().breakdown.transfer, 2 * per);
     }
 
+    fn faulty_machine(c: usize, fault: crate::FaultConfig) -> Machine {
+        Machine::new(ArchConfig::baseline(c).with_fault_injection(Some(fault)))
+    }
+
+    #[test]
+    fn armed_hbm_faults_corrupt_loads_and_are_counted() {
+        let fault = crate::FaultConfig::new(7).with_hbm_read_flips(1.0);
+        let mut m = faulty_machine(4, fault);
+        let x = m.alloc_vec(8);
+        m.write_vec(x, &[1.0; 8]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.stats().faults, 1);
+        assert_ne!(m.read_vec(x), &[1.0; 8], "flip left the vector untouched");
+    }
+
+    #[test]
+    fn store_and_unarmed_sites_never_fault() {
+        // MAC probability 0 with HBM armed: stores and SpMVs stay clean.
+        let fault = crate::FaultConfig::new(7).with_hbm_read_flips(1.0);
+        let mut m = faulty_machine(4, fault);
+        let x = m.alloc_vec(8);
+        m.write_vec(x, &[1.0; 8]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::StoreHbm { vec: x });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.stats().faults, 0);
+        assert_eq!(m.read_vec(x), &[1.0; 8]);
+    }
+
+    #[test]
+    fn mac_faults_corrupt_spmv_outputs() {
+        let fault = crate::FaultConfig::new(3).with_mac_output_flips(1.0);
+        let mut m = faulty_machine(4, fault);
+        let mat = m.add_matrix(&CsrMatrix::identity(4));
+        let x = m.alloc_vec(4);
+        let y = m.alloc_vec(4);
+        m.write_vec(x, &[1.0, 2.0, 3.0, 4.0]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::Duplicate { vec: x, matrix: mat });
+        pb.push(Instr::Spmv { matrix: mat, input: x, output: y });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.stats().faults, 1);
+        assert_ne!(m.read_vec(y), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fault_streams_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let fault =
+                crate::FaultConfig::new(seed).with_hbm_read_flips(0.5).with_mac_output_flips(0.5);
+            let mut m = faulty_machine(4, fault);
+            let mat = m.add_matrix(&CsrMatrix::identity(8));
+            let x = m.alloc_vec(8);
+            let y = m.alloc_vec(8);
+            m.write_vec(x, &[1.0; 8]);
+            let mut pb = ProgramBuilder::new();
+            for _ in 0..16 {
+                pb.push(Instr::LoadHbm { vec: x });
+                pb.push(Instr::Duplicate { vec: x, matrix: mat });
+                pb.push(Instr::Spmv { matrix: mat, input: x, output: y });
+            }
+            let p = pb.build().unwrap();
+            m.run(&p).unwrap();
+            (m.stats().faults, m.read_vec(x).to_vec(), m.read_vec(y).to_vec())
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn disarmed_machine_reports_zero_faults() {
+        let mut m = machine4();
+        let x = m.alloc_vec(8);
+        m.write_vec(x, &[2.0; 8]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(m.stats().faults, 0);
+        assert_eq!(m.read_vec(x), &[2.0; 8]);
+    }
+
     #[test]
     fn bad_registers_error() {
         let mut m = machine4();
         let mut pb = ProgramBuilder::new();
         pb.push(Instr::LoadHbm { vec: VecId(9) });
-        assert!(matches!(
-            m.run(&pb.build().unwrap()),
-            Err(ArchError::BadRegister(_))
-        ));
+        assert!(matches!(m.run(&pb.build().unwrap()), Err(ArchError::BadRegister(_))));
     }
 }

@@ -91,25 +91,13 @@ impl ProgramBuilder {
     /// Returns [`ArchError::MalformedLoop`] for unbalanced or multiple
     /// loops.
     pub fn build(&mut self) -> Result<Program, ArchError> {
-        let starts = self
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::LoopStart))
-            .count();
-        let ends = self
-            .instrs
-            .iter()
-            .filter(|i| matches!(i, Instr::LoopEndIfLess { .. }))
-            .count();
+        let starts = self.instrs.iter().filter(|i| matches!(i, Instr::LoopStart)).count();
+        let ends = self.instrs.iter().filter(|i| matches!(i, Instr::LoopEndIfLess { .. })).count();
         if starts != ends {
-            return Err(ArchError::MalformedLoop(format!(
-                "{starts} LoopStart vs {ends} LoopEnd"
-            )));
+            return Err(ArchError::MalformedLoop(format!("{starts} LoopStart vs {ends} LoopEnd")));
         }
         if starts > 1 {
-            return Err(ArchError::MalformedLoop(
-                "at most one hardware loop is supported".into(),
-            ));
+            return Err(ArchError::MalformedLoop("at most one hardware loop is supported".into()));
         }
         if starts == 1 && self.loop_bounds.is_none() {
             return Err(ArchError::MalformedLoop("LoopEnd precedes LoopStart".into()));
@@ -162,12 +150,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.push(Instr::SetScalar { dst: SReg(0), value: 0.0 });
         b.loop_start();
-        b.push(Instr::Scalar {
-            op: crate::ScalarOp::Add,
-            dst: SReg(0),
-            a: SReg(0),
-            b: SReg(1),
-        });
+        b.push(Instr::Scalar { op: crate::ScalarOp::Add, dst: SReg(0), a: SReg(0), b: SReg(1) });
         b.loop_end_if_less(SReg(2), SReg(0));
         b.max_trips(5);
         let p = b.build().unwrap();
@@ -196,7 +179,10 @@ mod tests {
     fn classifies_instructions() {
         assert_eq!(instruction_class(&Instr::LoopStart), "control");
         assert_eq!(
-            instruction_class(&Instr::Duplicate { vec: crate::VecId(0), matrix: crate::MatrixId(0) }),
+            instruction_class(&Instr::Duplicate {
+                vec: crate::VecId(0),
+                matrix: crate::MatrixId(0)
+            }),
             "duplication"
         );
     }

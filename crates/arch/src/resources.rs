@@ -37,12 +37,7 @@ impl ResourceModel {
     pub fn estimate(&self, set: &StructureSet) -> ResourceEstimate {
         let c = set.alphabet().c();
         let outputs = set.total_outputs();
-        let max_slots = set
-            .structures()
-            .iter()
-            .map(|s| s.num_slots())
-            .max()
-            .unwrap_or(1);
+        let max_slots = set.structures().iter().map(|s| s.num_slots()).max().unwrap_or(1);
 
         let dsp = 5 * c;
         // FF: base grows sublinearly-per-lane with C (12218 at C=16 →

@@ -90,31 +90,23 @@ pub fn encode_instr(i: &Instr) -> [u64; 2] {
             ),
             0.0,
         ),
-        Instr::EwMul { dst, a, b } => (
-            pack(OP_EW_MUL, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]),
-            0.0,
-        ),
-        Instr::EwMax { dst, a, b } => (
-            pack(OP_EW_MAX, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]),
-            0.0,
-        ),
-        Instr::EwMin { dst, a, b } => (
-            pack(OP_EW_MIN, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]),
-            0.0,
-        ),
-        Instr::Dot { dst, a, b } => (
-            pack(OP_DOT, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]),
-            0.0,
-        ),
-        Instr::Duplicate { vec, matrix } => (
-            pack(OP_DUP, [vec.index() as u16, matrix.index() as u16, 0, 0]),
-            0.0,
-        ),
+        Instr::EwMul { dst, a, b } => {
+            (pack(OP_EW_MUL, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]), 0.0)
+        }
+        Instr::EwMax { dst, a, b } => {
+            (pack(OP_EW_MAX, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]), 0.0)
+        }
+        Instr::EwMin { dst, a, b } => {
+            (pack(OP_EW_MIN, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]), 0.0)
+        }
+        Instr::Dot { dst, a, b } => {
+            (pack(OP_DOT, [dst.index() as u16, a.index() as u16, b.index() as u16, 0]), 0.0)
+        }
+        Instr::Duplicate { vec, matrix } => {
+            (pack(OP_DUP, [vec.index() as u16, matrix.index() as u16, 0, 0]), 0.0)
+        }
         Instr::Spmv { matrix, input, output } => (
-            pack(
-                OP_SPMV,
-                [matrix.index() as u16, input.index() as u16, output.index() as u16, 0],
-            ),
+            pack(OP_SPMV, [matrix.index() as u16, input.index() as u16, output.index() as u16, 0]),
             0.0,
         ),
     };
@@ -193,7 +185,7 @@ pub fn decode_instr(words: [u64; 2]) -> Result<Instr, ArchError> {
 
 /// Encodes a whole program into its ROM image.
 pub fn encode_program(program: &Program) -> Vec<u64> {
-    program.instrs().iter().flat_map(|i| encode_instr(i)).collect()
+    program.instrs().iter().flat_map(encode_instr).collect()
 }
 
 /// Decodes a ROM image back into a program with the given loop trip cap.
@@ -203,7 +195,7 @@ pub fn encode_program(program: &Program) -> Vec<u64> {
 /// Returns [`ArchError`] for malformed images (odd word counts, unknown
 /// opcodes, unbalanced loops).
 pub fn decode_program(rom: &[u64], max_trips: usize) -> Result<Program, ArchError> {
-    if rom.len() % 2 != 0 {
+    if !rom.len().is_multiple_of(2) {
         return Err(ArchError::MalformedLoop("ROM image has odd word count".into()));
     }
     let mut pb = ProgramBuilder::new();

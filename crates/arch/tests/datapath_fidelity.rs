@@ -30,10 +30,7 @@ fn check_matrix(m: &CsrMatrix, set: StructureSet) {
     let mut want = vec![0.0; m.nrows()];
     m.spmv(&x, &mut want).unwrap();
     for i in 0..m.nrows() {
-        assert!(
-            (yf[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
-            "fast path row {i}"
-        );
+        assert!((yf[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()), "fast path row {i}");
         assert!(
             (ye[i] - want[i]).abs() < 1e-9 * (1.0 + want[i].abs()),
             "lane-exact row {i}: {} vs {}",
@@ -100,10 +97,7 @@ fn customization_reduces_cycles_on_svm() {
     let ic = mc.add_matrix(a);
     let base_cycles = mb.schedule_of(ib).cycles();
     let custom_cycles = mc.schedule_of(ic).cycles();
-    assert!(
-        custom_cycles < base_cycles,
-        "customized {custom_cycles} vs baseline {base_cycles}"
-    );
+    assert!(custom_cycles < base_cycles, "customized {custom_cycles} vs baseline {base_cycles}");
     // CVB compression must also beat full duplication.
     let full_addresses = a.ncols();
     assert!(mc.layout_of(ic).num_addresses() <= full_addresses);

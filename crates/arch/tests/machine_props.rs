@@ -48,7 +48,8 @@ impl Ref {
         match op {
             Op::Lincomb { dst, alpha, a, beta, b } => {
                 for k in 0..n {
-                    let v = self.sregs[alpha] * self.vecs[a][k] + self.sregs[beta] * self.vecs[b][k];
+                    let v =
+                        self.sregs[alpha] * self.vecs[a][k] + self.sregs[beta] * self.vecs[b][k];
                     self.vecs[dst][k] = v;
                 }
             }

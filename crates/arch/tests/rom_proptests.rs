@@ -41,8 +41,11 @@ fn arb_body_instr() -> impl Strategy<Value = Instr> {
         (arb_vec(), arb_vec(), arb_vec()).prop_map(|(dst, a, b)| Instr::EwMin { dst, a, b }),
         (arb_sreg(), arb_vec(), arb_vec()).prop_map(|(dst, a, b)| Instr::Dot { dst, a, b }),
         (arb_vec(), arb_matrix()).prop_map(|(vec, matrix)| Instr::Duplicate { vec, matrix }),
-        (arb_matrix(), arb_vec(), arb_vec())
-            .prop_map(|(matrix, input, output)| Instr::Spmv { matrix, input, output }),
+        (arb_matrix(), arb_vec(), arb_vec()).prop_map(|(matrix, input, output)| Instr::Spmv {
+            matrix,
+            input,
+            output
+        }),
     ]
 }
 

@@ -52,7 +52,7 @@ fn bench_pcg(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("reduced_kkt", qp.total_nnz()), |b| {
             b.iter(|| {
                 let mut op = ReducedKktOp::new(qp.p(), qp.a(), &at, 1e-6, &rho);
-                pcg(&mut op, &rhs, &x0, &PcgSettings { eps: 1e-8, ..Default::default() })
+                pcg(&mut op, &rhs, &x0, &PcgSettings { eps: 1e-8, ..Default::default() }).unwrap()
             });
         });
     }

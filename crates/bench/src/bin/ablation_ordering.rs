@@ -11,7 +11,13 @@ use std::time::Instant;
 fn main() {
     let opts = HarnessOptions::from_args();
     let mut t = Table::new([
-        "app", "kkt_dim", "kkt_nnz", "lnnz_natural", "lnnz_rcm", "lnnz_mindeg", "factor_ms_mindeg",
+        "app",
+        "kkt_dim",
+        "kkt_nnz",
+        "lnnz_natural",
+        "lnnz_rcm",
+        "lnnz_mindeg",
+        "factor_ms_mindeg",
     ]);
     println!("Ablation: LDLT fill-in by ordering\n");
     for domain in Domain::all() {
@@ -27,8 +33,7 @@ fn main() {
             Ldlt::factor(sp.matrix()).expect("quasi-definite").l_nnz()
         };
         let (mindeg, ms) = {
-            let sp =
-                SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()));
+            let sp = SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()));
             let t0 = Instant::now();
             let f = Ldlt::factor(sp.matrix()).expect("quasi-definite");
             (f.l_nnz(), t0.elapsed().as_secs_f64() * 1e3)

@@ -5,8 +5,8 @@
 
 use rsqp_arch::{ArchConfig, ResourceModel};
 use rsqp_bench::{results_path, HarnessOptions};
-use rsqp_core::report::{fmt_f, Table};
 use rsqp_core::customize;
+use rsqp_core::report::{fmt_f, Table};
 use rsqp_problems::{generate, Domain};
 
 fn main() {
@@ -20,7 +20,14 @@ fn main() {
     );
     let model = ResourceModel;
     let mut t = Table::new([
-        "s_target", "structures", "eta", "delta_eta", "fmax_mhz", "ff", "lut", "effective_spmv_per_us",
+        "s_target",
+        "structures",
+        "eta",
+        "delta_eta",
+        "fmax_mhz",
+        "ff",
+        "lut",
+        "effective_spmv_per_us",
     ]);
     for target in 1..=6 {
         let r = customize(&qp, opts.c, target);

@@ -12,10 +12,7 @@ fn main() {
     println!("{}", t.to_text());
     println!(
         "{}",
-        figures::summary(
-            "kkt share (%)",
-            measurements.iter().map(|m| 100.0 * m.cpu_kkt_fraction)
-        )
+        figures::summary("kkt share (%)", measurements.iter().map(|m| 100.0 * m.cpu_kkt_fraction))
     );
     let path = results_path("fig08_kkt_fraction.csv");
     t.write_csv(&path).expect("write csv");

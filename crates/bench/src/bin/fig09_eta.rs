@@ -10,7 +10,13 @@ fn main() {
     let suite = suite_with_sizes(opts.seed, opts.points);
     // Fig 9 needs only the customization pipeline, not solves.
     let mut t = rsqp_core::report::Table::new([
-        "app", "name", "nnz", "eta_baseline", "eta_custom", "delta_eta", "structures",
+        "app",
+        "name",
+        "nnz",
+        "eta_baseline",
+        "eta_custom",
+        "delta_eta",
+        "structures",
     ]);
     let mut deltas = Vec::new();
     for bp in &suite {

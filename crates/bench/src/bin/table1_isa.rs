@@ -8,7 +8,11 @@ use std::collections::BTreeMap;
 
 fn main() {
     let mut t = Table::new(["instruction class", "function", "usage"]);
-    t.push(["Control", "Exit the algorithm loop if residual is less than threshold", "A1-8, A2-10"]);
+    t.push([
+        "Control",
+        "Exit the algorithm loop if residual is less than threshold",
+        "A1-8, A2-10",
+    ]);
     t.push(["Scalar Arithmetic", "Addition, subtraction, division, multiplication", "A2-3,7,9"]);
     t.push(["Data transfer", "Read/write a vector from/to memory", "A2-1,10"]);
     t.push([
@@ -17,7 +21,11 @@ fn main() {
         "A1-4,5,6,7, A2-1,3,4,5,6,7,8",
     ]);
     t.push(["Vector Duplication", "Duplicate vector copies across buffers", "A2-1,3"]);
-    t.push(["SpMV", "Multiply a matrix with a vector, write result to vector buffer", "A1-8, A2-1,3"]);
+    t.push([
+        "SpMV",
+        "Multiply a matrix with a vector, write result to vector buffer",
+        "A1-8, A2-1,3",
+    ]);
     println!("Table 1: instruction set\n");
     println!("{}", t.to_text());
 

@@ -11,7 +11,7 @@
 use rsqp_arch::{ArchConfig, ResourceModel};
 use rsqp_bench::{results_path, HarnessOptions};
 use rsqp_core::report::{fmt_f, Table};
-use rsqp_core::{customize_with_config, customize};
+use rsqp_core::{customize, customize_with_config};
 use rsqp_encode::{dp_schedule, greedy_schedule, Alphabet, SparsityString, StructureSet};
 use rsqp_problems::{generate, Domain};
 
@@ -34,11 +34,7 @@ fn main() {
     let opts = HarnessOptions::from_args();
     // svm with ~20.6k nnz: feature count 110 lands closest.
     let qp = generate(Domain::Svm, 110, opts.seed);
-    println!(
-        "Table 3: design points on {} (nnz(P)+nnz(A) = {})\n",
-        qp.name(),
-        qp.total_nnz()
-    );
+    println!("Table 3: design points on {} (nnz(P)+nnz(A) = {})\n", qp.name(), qp.total_nnz());
 
     let model = ResourceModel;
     let at = qp.a().transpose();

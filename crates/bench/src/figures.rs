@@ -37,7 +37,8 @@ pub fn fig08(measurements: &[Measurement]) -> Table {
 
 /// Figure 9: improvement of the match score η after customization.
 pub fn fig09(measurements: &[Measurement]) -> Table {
-    let mut t = Table::new(["app", "name", "nnz", "eta_baseline", "eta_custom", "delta_eta", "structures"]);
+    let mut t =
+        Table::new(["app", "name", "nnz", "eta_baseline", "eta_custom", "delta_eta", "structures"]);
     for m in measurements {
         t.push([
             m.domain.to_string(),

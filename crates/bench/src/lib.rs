@@ -25,7 +25,7 @@ use rsqp_core::perf::fpga::FpgaPerfModel;
 use rsqp_core::perf::gpu::GpuPerfModel;
 use rsqp_core::{customize, CustomizationResult, FpgaPcgBackend};
 use rsqp_problems::BenchmarkProblem;
-use rsqp_solver::{CgTolerance, LinSysKind, QpProblem, Settings, Solver, SolveResult};
+use rsqp_solver::{CgTolerance, LinSysKind, QpProblem, Settings, SolveResult, Solver};
 
 /// All measurements for one benchmark problem.
 #[derive(Debug, Clone)]
@@ -116,21 +116,14 @@ impl HarnessOptions {
 }
 
 fn solver_settings() -> Settings {
-    Settings {
-        eps_abs: 1e-3,
-        eps_rel: 1e-3,
-        max_iter: 4000,
-        ..Default::default()
-    }
+    Settings { eps_abs: 1e-3, eps_rel: 1e-3, max_iter: 4000, ..Default::default() }
 }
 
 /// Runs the CPU (measured) solve with the PCG backend.
 pub fn solve_cpu(problem: &QpProblem) -> SolveResult {
-    let mut solver = Solver::new(
-        problem,
-        Settings { linsys: LinSysKind::CpuPcg, ..solver_settings() },
-    )
-    .expect("benchmark problems are valid");
+    let mut solver =
+        Solver::new(problem, Settings { linsys: LinSysKind::CpuPcg, ..solver_settings() })
+            .expect("benchmark problems are valid");
     solver.solve().expect("CPU PCG backend does not fail")
 }
 
@@ -140,17 +133,18 @@ pub fn solve_fpga(problem: &QpProblem, config: &ArchConfig) -> (SolveResult, Dur
     let cfg = config.clone();
     let mut handle = None;
     let mut outer = 0u64;
-    let mut solver = Solver::with_backend(problem, solver_settings(), &mut |p, a, sigma, rho, s| {
-        let eps = match s.cg_tolerance {
-            CgTolerance::Fixed(e) => e,
-            CgTolerance::Adaptive { start, .. } => start,
-        };
-        let (b, h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
-        outer = b.outer_cycles_per_iteration();
-        handle = Some(h);
-        Ok(Box::new(b))
-    })
-    .expect("benchmark problems are valid");
+    let mut solver =
+        Solver::with_backend(problem, solver_settings(), &mut |p, a, sigma, rho, s| {
+            let eps = match s.cg_tolerance {
+                CgTolerance::Fixed(e) => e,
+                CgTolerance::Adaptive { start, .. } => start,
+            };
+            let (b, h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
+            outer = b.outer_cycles_per_iteration();
+            handle = Some(h);
+            Ok(Box::new(b))
+        })
+        .expect("benchmark problems are valid");
     let result = solver.solve().expect("FPGA backend does not fail");
     let stats = handle.expect("factory ran").borrow().stats();
     let model = FpgaPerfModel::from_config(config);

@@ -118,10 +118,7 @@ impl FpgaPcgBackend {
                 diag[j] += self.rho[i] * v * v;
             }
         }
-        let minv: Vec<f64> = diag
-            .iter()
-            .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
-            .collect();
+        let minv: Vec<f64> = diag.iter().map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 }).collect();
         debug_assert_eq!(minv.len(), n);
         let mut machine = self.machine.borrow_mut();
         machine.write_vec(self.kernel.minv, &minv);

@@ -59,14 +59,7 @@ pub fn write_bundle(
             writeln!(
                 f,
                 "matrix {:>2}: nnz {} cycles {} -> {} E_p {} -> {} E_c {:.2} -> {:.2}",
-                m.name,
-                m.nnz,
-                m.cycles_baseline,
-                m.cycles_custom,
-                m.ep.0,
-                m.ep.1,
-                m.ec.0,
-                m.ec.1
+                m.name, m.nnz, m.cycles_baseline, m.cycles_custom, m.ep.0, m.ep.1, m.ec.0, m.ec.1
             )?;
         }
         files += 1;
@@ -78,10 +71,7 @@ pub fn write_bundle(
         codegen::alignment_switch(result.config.set()),
     )?;
     files += 1;
-    std::fs::write(
-        dir.join("spmv_align.cpp"),
-        codegen::spmv_align_function(result.config.set()),
-    )?;
+    std::fs::write(dir.join("spmv_align.cpp"), codegen::spmv_align_function(result.config.set()))?;
     files += 1;
 
     // CVB translation tables.
@@ -186,7 +176,8 @@ mod tests {
             "pcg.rom",
             "pcg.lst",
         ] {
-            let meta = std::fs::metadata(dir.join(name)).unwrap_or_else(|_| panic!("{name} missing"));
+            let meta =
+                std::fs::metadata(dir.join(name)).unwrap_or_else(|_| panic!("{name} missing"));
             assert!(meta.len() > 0, "{name} is empty");
         }
         // The ROM decodes back into a program.

@@ -9,8 +9,8 @@
 
 use rsqp_arch::{ArchConfig, ResourceEstimate, ResourceModel};
 use rsqp_cvb::{first_fit, AccessMatrix, CvbLayout};
-use rsqp_encode::{greedy_schedule, SparsityString, StructureSet};
 use rsqp_encode::{baseline_set, search_structures};
+use rsqp_encode::{greedy_schedule, SparsityString, StructureSet};
 use rsqp_solver::QpProblem;
 use rsqp_sparse::CsrMatrix;
 
@@ -171,7 +171,7 @@ mod tests {
     #[test]
     fn customization_improves_eta_on_structured_problems() {
         for domain in [Domain::Control, Domain::Svm, Domain::Lasso, Domain::Portfolio] {
-            let qp = generate(domain, 3.max(2), 1);
+            let qp = generate(domain, 3, 1);
             let r = customize(&qp, 16, 4);
             assert!(
                 r.eta_custom > r.eta_baseline,

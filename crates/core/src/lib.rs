@@ -38,5 +38,8 @@ pub mod perf;
 pub mod report;
 
 pub use backend::FpgaPcgBackend;
-pub use customize::{baseline_config, customize, customize_with_config, layout_for, CustomizationResult, MatrixCustomization};
+pub use customize::{
+    baseline_config, customize, customize_with_config, layout_for, CustomizationResult,
+    MatrixCustomization,
+};
 pub use eta::{eta, EtaParts};

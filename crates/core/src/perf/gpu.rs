@@ -62,8 +62,8 @@ impl GpuPerfModel {
             * (KERNELS_PER_CG * self.launch_s + (spmv_bytes + vec_bytes) / self.bw_eff);
         // ADMM outer update: ~12 kernels over m- and n-length vectors.
         let admm_bytes = (8.0 * m as f64 + 4.0 * n as f64) * 4.0 * 3.0;
-        let admm_time = admm_iterations as f64
-            * (KERNELS_PER_ADMM * self.launch_s + admm_bytes / self.bw_eff);
+        let admm_time =
+            admm_iterations as f64 * (KERNELS_PER_ADMM * self.launch_s + admm_bytes / self.bw_eff);
         // Per-solve host↔device traffic (q, bounds, iterates, results).
         let transfer = ((n + m) as f64 * 6.0 * 4.0) / PCIE_BW + 30.0e-6;
         Duration::from_secs_f64(cg_time + admm_time + transfer)

@@ -2,8 +2,8 @@
 //! the simulated RSQP accelerator, with cycle accounting.
 
 use rsqp_arch::ArchConfig;
-use rsqp_core::{customize, FpgaPcgBackend};
 use rsqp_core::perf::fpga::FpgaPerfModel;
+use rsqp_core::{customize, FpgaPcgBackend};
 use rsqp_problems::{generate, Domain};
 use rsqp_solver::{LinSysKind, QpProblem, Settings, Solver, Status};
 
@@ -39,11 +39,8 @@ fn fpga_backend_converges_and_matches_cpu() {
     for (domain, size) in [(Domain::Control, 3), (Domain::Svm, 3), (Domain::Portfolio, 1)] {
         let qp = generate(domain, size, 11);
         // Reference CPU solve (direct LDLT).
-        let mut cpu = Solver::new(
-            &qp,
-            Settings { linsys: LinSysKind::DirectLdlt, ..settings() },
-        )
-        .unwrap();
+        let mut cpu =
+            Solver::new(&qp, Settings { linsys: LinSysKind::DirectLdlt, ..settings() }).unwrap();
         let cpu_result = cpu.solve().unwrap();
         assert_eq!(cpu_result.status, Status::Solved);
 
@@ -89,12 +86,7 @@ fn customized_architecture_needs_fewer_cycles_than_baseline() {
         qp.num_vars(),
         qp.num_constraints(),
     );
-    assert!(
-        t_custom < t_base,
-        "customized {:?} should beat baseline {:?}",
-        t_custom,
-        t_base
-    );
+    assert!(t_custom < t_base, "customized {:?} should beat baseline {:?}", t_custom, t_base);
 }
 
 #[test]
@@ -136,13 +128,9 @@ fn matrix_value_update_reuses_the_architecture() {
     let r1 = solver.solve().unwrap();
     assert_eq!(r1.status, Status::Solved);
 
-    solver
-        .update_matrices(Some(qp2.p().clone()), Some(qp2.a().clone()))
-        .unwrap();
+    solver.update_matrices(Some(qp2.p().clone()), Some(qp2.a().clone())).unwrap();
     solver.update_q(qp2.q().to_vec()).unwrap();
-    solver
-        .update_bounds(qp2.l().to_vec(), qp2.u().to_vec())
-        .unwrap();
+    solver.update_bounds(qp2.l().to_vec(), qp2.u().to_vec()).unwrap();
     let r2 = solver.solve().unwrap();
     assert_eq!(r2.status, Status::Solved);
 

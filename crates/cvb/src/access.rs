@@ -62,10 +62,7 @@ impl AccessMatrix {
     pub fn from_masks(c: usize, masks: Vec<u128>) -> Self {
         assert!(c <= 128, "access masks support C <= 128");
         let limit = if c == 128 { u128::MAX } else { (1u128 << c) - 1 };
-        assert!(
-            masks.iter().all(|&m| m & !limit == 0),
-            "mask uses lanes beyond C"
-        );
+        assert!(masks.iter().all(|&m| m & !limit == 0), "mask uses lanes beyond C");
         AccessMatrix { l: masks.len(), c, masks }
     }
 

@@ -161,9 +161,7 @@ mod tests {
 
     #[test]
     fn never_exceeds_full_duplication() {
-        let masks: Vec<u128> = (0..40)
-            .map(|j| ((j * 37 + 11) % 16) as u128 | 1)
-            .collect();
+        let masks: Vec<u128> = (0..40).map(|j| ((j * 37 + 11) % 16) as u128 | 1).collect();
         let v = AccessMatrix::from_masks(4, masks);
         let ff = first_fit(&v);
         let full = CvbLayout::full_duplication(&v);

@@ -6,10 +6,7 @@ use rsqp_cvb::{first_fit, AccessMatrix, CvbLayout};
 fn arb_masks() -> impl Strategy<Value = (usize, Vec<u128>)> {
     prop::sample::select(vec![2usize, 4, 8, 16]).prop_flat_map(|c| {
         let limit = (1u128 << c) - 1;
-        (
-            Just(c),
-            prop::collection::vec((0u128..=u128::MAX).prop_map(move |m| m & limit), 0..60),
-        )
+        (Just(c), prop::collection::vec((0u128..=u128::MAX).prop_map(move |m| m & limit), 0..60))
     })
 }
 

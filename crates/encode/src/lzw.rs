@@ -112,9 +112,7 @@ mod tests {
         let many = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
         let d = LzwDictionary::build(many);
         // "aa" must have been emitted at least once and 'a' phrases dominate.
-        let total: usize = (0..5)
-            .map(|k| d.count(&vec![b'a'; k + 1]))
-            .sum();
+        let total: usize = (0..5).map(|k| d.count(&vec![b'a'; k + 1])).sum();
         assert!(total >= 3);
     }
 

@@ -91,11 +91,7 @@ mod tests {
         let c = 8;
         let base = baseline_set(Alphabet::new(c));
         let a = greedy_schedule(&SparsityString::encode(&m, c), &base).cycles();
-        let b = greedy_schedule(
-            &SparsityString::encode(&m.permute_rows(&perm), c),
-            &base,
-        )
-        .cycles();
+        let b = greedy_schedule(&SparsityString::encode(&m.permute_rows(&perm), c), &base).cycles();
         assert_eq!(a, b);
     }
 }

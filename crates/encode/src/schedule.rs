@@ -86,11 +86,7 @@ impl Schedule {
 /// fallback guarantees completeness.
 pub fn greedy_schedule(s: &SparsityString, set: &StructureSet) -> Schedule {
     let alphabet = s.alphabet();
-    assert_eq!(
-        alphabet,
-        set.alphabet(),
-        "string and structure set use different alphabets"
-    );
+    assert_eq!(alphabet, set.alphabet(), "string and structure set use different alphabets");
     let chars = s.chars();
     let n = chars.len();
     let mut claimed = vec![false; n];
@@ -99,11 +95,8 @@ pub fn greedy_schedule(s: &SparsityString, set: &StructureSet) -> Schedule {
     // Map back from sorted order to set indices.
     let order = set.by_descending_length();
     for st in order {
-        let idx = set
-            .structures()
-            .iter()
-            .position(|x| x == st)
-            .expect("structure comes from the set");
+        let idx =
+            set.structures().iter().position(|x| x == st).expect("structure comes from the set");
         let len = st.num_slots();
         if len > n {
             continue;
@@ -139,11 +132,7 @@ pub fn greedy_schedule(s: &SparsityString, set: &StructureSet) -> Schedule {
 /// count is a lower bound for the greedy result under the same `S`.
 pub fn dp_schedule(s: &SparsityString, set: &StructureSet) -> Schedule {
     let alphabet = s.alphabet();
-    assert_eq!(
-        alphabet,
-        set.alphabet(),
-        "string and structure set use different alphabets"
-    );
+    assert_eq!(alphabet, set.alphabet(), "string and structure set use different alphabets");
     let chars = s.chars();
     let n = chars.len();
     let mut cost = vec![usize::MAX; n + 1];
@@ -250,10 +239,7 @@ mod tests {
         let al = Alphabet::new(4);
         let set = StructureSet::new(
             al,
-            vec![
-                crate::MacStructure::new(b"ab", al),
-                crate::MacStructure::new(b"bb", al),
-            ],
+            vec![crate::MacStructure::new(b"ab", al), crate::MacStructure::new(b"bb", al)],
         );
         let g = greedy_schedule(&s, &set);
         let d = dp_schedule(&s, &set);

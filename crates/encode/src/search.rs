@@ -9,9 +9,7 @@
 //! and are greedily added to the fallback-only set while the *measured*
 //! scheduled cycle count keeps improving, up to `|S|_target` structures.
 
-use crate::{
-    greedy_schedule, Alphabet, LzwDictionary, MacStructure, SparsityString, StructureSet,
-};
+use crate::{greedy_schedule, Alphabet, LzwDictionary, MacStructure, SparsityString, StructureSet};
 
 /// Cap on how many characters of the string the search evaluates schedules
 /// on (a prefix sample keeps the search fast on 10⁶-nnz problems; the final
@@ -74,8 +72,7 @@ pub fn search_structures_with_candidates(
             }
             let mut trial = chosen.clone();
             trial.push(cand.clone());
-            let cycles =
-                greedy_schedule(&sample, &StructureSet::new(alphabet, trial)).cycles();
+            let cycles = greedy_schedule(&sample, &StructureSet::new(alphabet, trial)).cycles();
             if cycles < best_cycles && best.is_none_or(|(_, bc)| cycles < bc) {
                 best = Some((i, cycles));
             }

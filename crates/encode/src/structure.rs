@@ -124,10 +124,7 @@ impl StructureSet {
     /// Panics if any structure was built for a different width.
     pub fn new(alphabet: Alphabet, mut structures: Vec<MacStructure>) -> Self {
         for s in &structures {
-            assert!(
-                s.total_width() <= alphabet.c(),
-                "structure too wide for this alphabet"
-            );
+            assert!(s.total_width() <= alphabet.c(), "structure too wide for this alphabet");
         }
         let fallback = MacStructure::new(&[alphabet.full_letter()], alphabet);
         if !structures.contains(&fallback) {
@@ -196,9 +193,7 @@ impl StructureSet {
     pub fn by_descending_length(&self) -> Vec<&MacStructure> {
         let mut v: Vec<&MacStructure> = self.structures.iter().collect();
         v.sort_by(|a, b| {
-            b.num_slots()
-                .cmp(&a.num_slots())
-                .then(b.total_width().cmp(&a.total_width()))
+            b.num_slots().cmp(&a.num_slots()).then(b.total_width().cmp(&a.total_width()))
         });
         v
     }
@@ -271,10 +266,8 @@ mod tests {
         let al = a4();
         let set = StructureSet::new(al, vec![MacStructure::new(b"bb", al)]);
         assert_eq!(set.len(), 2);
-        let set2 = StructureSet::new(
-            al,
-            vec![MacStructure::new(b"c", al), MacStructure::new(b"c", al)],
-        );
+        let set2 =
+            StructureSet::new(al, vec![MacStructure::new(b"c", al), MacStructure::new(b"c", al)]);
         assert_eq!(set2.len(), 1);
     }
 

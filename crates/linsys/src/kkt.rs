@@ -93,8 +93,7 @@ impl KktMatrix {
         let mat = coo.to_csc();
         // Upper-triangular sorted columns keep the diagonal last in each
         // column, so the rho entries are at colptr[n+i+1]-1.
-        let rho_positions: Vec<usize> =
-            (0..m).map(|i| mat.colptr()[n + i + 1] - 1).collect();
+        let rho_positions: Vec<usize> = (0..m).map(|i| mat.colptr()[n + i + 1] - 1).collect();
         Ok(KktMatrix { n, m, mat, rho_positions })
     }
 
@@ -173,15 +172,7 @@ impl<'a> ReducedKktOp<'a> {
         assert_eq!(a.ncols(), n, "A column count mismatch");
         assert_eq!((at.nrows(), at.ncols()), (n, m), "At must be transpose of A");
         assert_eq!(rho.len(), m, "rho length mismatch");
-        ReducedKktOp {
-            p,
-            a,
-            at,
-            sigma,
-            rho: rho.to_vec(),
-            tmp_m: vec![0.0; m],
-            spmv_count: 0,
-        }
+        ReducedKktOp { p, a, at, sigma, rho: rho.to_vec(), tmp_m: vec![0.0; m], spmv_count: 0 }
     }
 
     /// Replaces the ρ vector (no structural work needed — this is the big
@@ -226,21 +217,20 @@ impl LinearOperator for ReducedKktOp<'_> {
         self.p.nrows()
     }
 
-    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
         // y = P x + sigma x
-        self.p.spmv(x, y).expect("shape checked at construction");
+        self.p.spmv(x, y)?;
         for (yi, &xi) in y.iter_mut().zip(x) {
             *yi += self.sigma * xi;
         }
         // tmp = rho .* (A x); y += At tmp
-        self.a.spmv(x, &mut self.tmp_m).expect("shape checked at construction");
+        self.a.spmv(x, &mut self.tmp_m)?;
         for (t, &r) in self.tmp_m.iter_mut().zip(&self.rho) {
             *t *= r;
         }
-        self.at
-            .spmv_acc(1.0, &self.tmp_m, y)
-            .expect("shape checked at construction");
+        self.at.spmv_acc(1.0, &self.tmp_m, y)?;
         self.spmv_count += 3;
+        Ok(())
     }
 
     fn precond_diag(&self) -> Option<Vec<f64>> {
@@ -306,10 +296,7 @@ mod tests {
         let mut rhs = vec![b1[0], b1[1], 0.0, 0.0, 0.0];
         ldlt.solve_in_place(&mut rhs);
         // Dense reduced solve.
-        let k = [
-            [4.0 + sigma + 0.5 * 2.0, 1.0 + 0.5],
-            [1.0 + 0.5, 2.0 + sigma + 0.5 * 2.0],
-        ];
+        let k = [[4.0 + sigma + 0.5 * 2.0, 1.0 + 0.5], [1.0 + 0.5, 2.0 + sigma + 0.5 * 2.0]];
         let det = k[0][0] * k[1][1] - k[0][1] * k[1][0];
         let x0 = (k[1][1] * b1[0] - k[0][1] * b1[1]) / det;
         let x1 = (-k[1][0] * b1[0] + k[0][0] * b1[1]) / det;
@@ -326,14 +313,11 @@ mod tests {
         let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho);
         let x = [1.0, 2.0];
         let mut y = vec![0.0; 2];
-        op.apply(&x, &mut y);
+        op.apply(&x, &mut y).unwrap();
         // Dense: K = P + sigma I + At diag(rho) A
         // A rows: [1,0],[0,1],[1,1]
         // At diag(rho) A = [[0.1+0.4, 0.4], [0.4, 0.2+0.4]]
-        let k = [
-            [4.0 + sigma + 0.5, 1.0 + 0.4],
-            [1.0 + 0.4, 2.0 + sigma + 0.6],
-        ];
+        let k = [[4.0 + sigma + 0.5, 1.0 + 0.4], [1.0 + 0.4, 2.0 + sigma + 0.6]];
         let want = [k[0][0] * x[0] + k[0][1] * x[1], k[1][0] * x[0] + k[1][1] * x[1]];
         assert!((y[0] - want[0]).abs() < 1e-12);
         assert!((y[1] - want[1]).abs() < 1e-12);
@@ -358,10 +342,10 @@ mod tests {
         let at = a.transpose();
         let mut op = ReducedKktOp::new(&p, &a, &at, 0.0, &[1.0, 1.0, 1.0]);
         let mut y1 = vec![0.0; 2];
-        op.apply(&[1.0, 0.0], &mut y1);
+        op.apply(&[1.0, 0.0], &mut y1).unwrap();
         op.update_rho(&[2.0, 2.0, 2.0]);
         let mut y2 = vec![0.0; 2];
-        op.apply(&[1.0, 0.0], &mut y2);
+        op.apply(&[1.0, 0.0], &mut y2).unwrap();
         // Doubling rho doubles the AᵀA part: y2 - Px = 2 (y1 - Px).
         let px = 4.0;
         assert!(((y2[0] - px) - 2.0 * (y1[0] - px)).abs() < 1e-12);

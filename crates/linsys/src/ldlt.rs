@@ -97,9 +97,7 @@ impl Ldlt {
         let mut elim_buffer = vec![0usize; n];
         let mut l_next_space = vec![0usize; n];
         let mut y_vals = vec![0.0f64; n];
-        for i in 0..n {
-            l_next_space[i] = self.l_colptr[i];
-        }
+        l_next_space[..n].copy_from_slice(&self.l_colptr[..n]);
         self.pos_d = 0;
 
         for k in 0..n {
@@ -313,11 +311,7 @@ mod tests {
     #[test]
     fn factor_quasi_definite_kkt() {
         // [[ 2, 0, 1], [0, 2, 1], [1, 1, -1]] : quasi-definite (2 pos, 1 neg)
-        let dense = vec![
-            vec![2.0, 0.0, 1.0],
-            vec![0.0, 2.0, 1.0],
-            vec![1.0, 1.0, -1.0],
-        ];
+        let dense = vec![vec![2.0, 0.0, 1.0], vec![0.0, 2.0, 1.0], vec![1.0, 1.0, -1.0]];
         let f = Ldlt::factor(&upper(&dense)).unwrap();
         assert_eq!(f.num_positive_d(), 2);
         let x = f.solve(&[1.0, 2.0, 3.0]);
@@ -333,24 +327,14 @@ mod tests {
     fn missing_diagonal_is_rejected() {
         // Column 1 has no diagonal entry.
         let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).to_csc();
-        assert!(matches!(
-            Ldlt::factor(&a),
-            Err(LinsysError::MissingDiagonal(1))
-        ));
+        assert!(matches!(Ldlt::factor(&a), Err(LinsysError::MissingDiagonal(1))));
     }
 
     #[test]
     fn lower_triangular_entry_rejected() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            2,
-            vec![(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)],
-        )
-        .to_csc();
-        assert!(matches!(
-            Ldlt::factor(&a),
-            Err(LinsysError::NotUpperTriangular)
-        ));
+        let a =
+            CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]).to_csc();
+        assert!(matches!(Ldlt::factor(&a), Err(LinsysError::NotUpperTriangular)));
     }
 
     #[test]
@@ -368,18 +352,10 @@ mod tests {
 
     #[test]
     fn refactor_reuses_structure() {
-        let d1 = vec![
-            vec![4.0, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 5.0],
-        ];
+        let d1 = vec![vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 5.0]];
         let mut f = Ldlt::factor(&upper(&d1)).unwrap();
         // Same structure, new values.
-        let d2 = vec![
-            vec![8.0, 2.0, 0.0],
-            vec![2.0, 6.0, 2.0],
-            vec![0.0, 2.0, 10.0],
-        ];
+        let d2 = vec![vec![8.0, 2.0, 0.0], vec![2.0, 6.0, 2.0], vec![0.0, 2.0, 10.0]];
         f.refactor(&upper(&d2)).unwrap();
         let x = f.solve(&[1.0, 0.0, 0.0]);
         let full = CsrMatrix::from_dense(&d2);
@@ -475,9 +451,8 @@ mod refine_tests {
 
     #[test]
     fn refinement_is_noop_on_well_conditioned_systems() {
-        let upper = CsrMatrix::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]])
-            .upper_triangle()
-            .to_csc();
+        let upper =
+            CsrMatrix::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]).upper_triangle().to_csc();
         let f = Ldlt::factor(&upper).unwrap();
         let refined = f.solve_refined(&upper, &[1.0, 2.0], 2);
         let plain = f.solve(&[1.0, 2.0]);

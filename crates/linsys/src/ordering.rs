@@ -54,8 +54,7 @@ pub fn rcm_ordering(upper: &CscMatrix) -> Vec<usize> {
         queue.push_back(seed);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut nbrs: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut nbrs: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             nbrs.sort_by_key(|&u| degree[u]);
             for u in nbrs {
                 visited[u] = true;

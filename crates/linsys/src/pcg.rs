@@ -1,6 +1,18 @@
 //! Preconditioned Conjugate Gradient (Algorithm 2 of the RSQP paper).
+//!
+//! Unlike a direct LDLᵀ solve, PCG can fail mid-iteration: the operator may
+//! turn out indefinite along a search direction (`pᵀKp ≤ 0`), or corrupted
+//! input (NaN/Inf from an upstream ρ update or a faulty datapath) can poison
+//! α/β. Both conditions are detected and reported as a typed [`PcgError`]
+//! instead of silently returning the poisoned iterate, so callers can run a
+//! recovery policy (see `solver::guard`).
+
+use std::error::Error;
+use std::fmt;
 
 use rsqp_sparse::vec_ops;
+
+use crate::LinsysError;
 
 /// A symmetric positive-definite linear operator `y = K x`.
 ///
@@ -11,16 +23,74 @@ pub trait LinearOperator {
 
     /// Computes `y = K x`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Implementations may panic if `x.len()` or `y.len()` differ from
-    /// [`Self::dim`].
-    fn apply(&mut self, x: &[f64], y: &mut [f64]);
+    /// Returns an error if `x.len()` or `y.len()` differ from [`Self::dim`]
+    /// or the underlying evaluation fails (e.g. a device-backed operator
+    /// detects corruption). Implementations must not panic on bad shapes.
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError>;
 
     /// Diagonal of a preconditioner `M ≈ K` (not its inverse). `None`
     /// disables preconditioning (`M = I`).
     fn precond_diag(&self) -> Option<Vec<f64>> {
         None
+    }
+}
+
+/// Typed failure of a [`pcg`] solve.
+///
+/// Any error means the returned iterate would have been unreliable; callers
+/// should treat the warm-start vector as the last good state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PcgError {
+    /// `pᵀKp ≤ 0` (or `rᵀM⁻¹r ≤ 0`): the operator or preconditioner is not
+    /// positive definite along the current direction. Carries the iteration
+    /// index and the offending curvature value.
+    Breakdown {
+        /// Iteration at which breakdown was detected (1-based).
+        iteration: usize,
+        /// The non-positive curvature `pᵀKp` or `rᵀM⁻¹r`.
+        curvature: f64,
+    },
+    /// A scalar in the recurrence (step length, residual norm, or direction
+    /// update) became NaN or ±Inf.
+    NonFinite {
+        /// Iteration at which the non-finite value appeared (0 = setup).
+        iteration: usize,
+        /// Which quantity went non-finite.
+        quantity: &'static str,
+    },
+    /// The operator application itself failed.
+    Operator(LinsysError),
+}
+
+impl fmt::Display for PcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcgError::Breakdown { iteration, curvature } => write!(
+                f,
+                "PCG breakdown at iteration {iteration}: curvature {curvature:e} is not positive"
+            ),
+            PcgError::NonFinite { iteration, quantity } => {
+                write!(f, "PCG produced a non-finite {quantity} at iteration {iteration}")
+            }
+            PcgError::Operator(e) => write!(f, "PCG operator application failed: {e}"),
+        }
+    }
+}
+
+impl Error for PcgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PcgError::Operator(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinsysError> for PcgError {
+    fn from(e: LinsysError) -> Self {
+        PcgError::Operator(e)
     }
 }
 
@@ -61,30 +131,40 @@ pub struct PcgResult {
 /// Implements Algorithm 2 of the paper with a diagonal (Jacobi)
 /// preconditioner taken from [`LinearOperator::precond_diag`].
 ///
+/// # Errors
+///
+/// Returns [`PcgError::Breakdown`] if the operator is indefinite along a
+/// search direction, [`PcgError::NonFinite`] if the recurrence produces
+/// NaN/Inf (e.g. corrupted `b` or operator data), and
+/// [`PcgError::Operator`] if an operator application fails. On error the
+/// warm-start `x0` remains the caller's last good iterate.
+///
 /// # Panics
 ///
-/// Panics if `b.len()` or `x0.len()` differ from `op.dim()`.
+/// Panics if `b.len()` or `x0.len()` differ from `op.dim()` (caller
+/// contract, checked up front before any state is touched).
 pub fn pcg(
     op: &mut dyn LinearOperator,
     b: &[f64],
     x0: &[f64],
     settings: &PcgSettings,
-) -> PcgResult {
+) -> Result<PcgResult, PcgError> {
     let n = op.dim();
     assert_eq!(b.len(), n, "rhs length mismatch");
     assert_eq!(x0.len(), n, "warm-start length mismatch");
 
-    let minv: Option<Vec<f64>> = op.precond_diag().map(|d| {
-        d.iter()
-            .map(|&v| if v != 0.0 { 1.0 / v } else { 1.0 })
-            .collect()
-    });
+    let minv: Option<Vec<f64>> = op
+        .precond_diag()
+        .map(|d| d.iter().map(|&v| if v != 0.0 { 1.0 / v } else { 1.0 }).collect());
     let apply_precond = |r: &[f64], d: &mut [f64]| match &minv {
         Some(mi) => vec_ops::ew_mul(r, mi, d),
         None => d.copy_from_slice(r),
     };
 
     let norm_b = vec_ops::norm2(b);
+    if !norm_b.is_finite() {
+        return Err(PcgError::NonFinite { iteration: 0, quantity: "rhs norm" });
+    }
     let tol = (settings.eps * norm_b).max(settings.eps_abs);
 
     let mut x = x0.to_vec();
@@ -94,11 +174,14 @@ pub fn pcg(
     let mut kp = vec![0.0; n];
 
     // r0 = K x0 - b
-    op.apply(&x, &mut r);
+    op.apply(&x, &mut r)?;
     vec_ops::axpy(-1.0, b, &mut r);
     let mut res_norm = vec_ops::norm2(&r);
+    if !res_norm.is_finite() {
+        return Err(PcgError::NonFinite { iteration: 0, quantity: "residual norm" });
+    }
     if res_norm <= tol {
-        return PcgResult { x, iterations: 0, residual: res_norm, converged: true };
+        return Ok(PcgResult { x, iterations: 0, residual: res_norm, converged: true });
     }
     // d0 = M^{-1} r0 ; p0 = -d0
     apply_precond(&r, &mut d);
@@ -106,35 +189,59 @@ pub fn pcg(
         *pi = -di;
     }
     let mut delta = vec_ops::dot(&r, &d);
+    if !delta.is_finite() {
+        return Err(PcgError::NonFinite { iteration: 0, quantity: "preconditioned residual" });
+    }
+    if delta <= 0.0 {
+        return Err(PcgError::Breakdown { iteration: 0, curvature: delta });
+    }
 
     let mut iterations = 0;
     let mut converged = false;
     while iterations < settings.max_iter {
         iterations += 1;
-        op.apply(&p, &mut kp);
+        op.apply(&p, &mut kp)?;
         let pkp = vec_ops::dot(&p, &kp);
+        if !pkp.is_finite() {
+            return Err(PcgError::NonFinite {
+                iteration: iterations, quantity: "curvature pᵀKp"
+            });
+        }
         if pkp <= 0.0 {
-            // Operator is not positive definite along p (numerical
-            // breakdown); stop with the current iterate.
-            break;
+            return Err(PcgError::Breakdown { iteration: iterations, curvature: pkp });
         }
         let lambda = delta / pkp;
+        if !lambda.is_finite() {
+            return Err(PcgError::NonFinite { iteration: iterations, quantity: "step length α" });
+        }
         vec_ops::axpy(lambda, &p, &mut x);
         vec_ops::axpy(lambda, &kp, &mut r);
         res_norm = vec_ops::norm2(&r);
+        if !res_norm.is_finite() {
+            return Err(PcgError::NonFinite { iteration: iterations, quantity: "residual norm" });
+        }
         if res_norm < tol {
             converged = true;
             break;
         }
         apply_precond(&r, &mut d);
         let delta_new = vec_ops::dot(&r, &d);
+        if !delta_new.is_finite() {
+            return Err(PcgError::NonFinite {
+                iteration: iterations,
+                quantity: "preconditioned residual",
+            });
+        }
+        if delta_new <= 0.0 {
+            return Err(PcgError::Breakdown { iteration: iterations, curvature: delta_new });
+        }
         let mu = delta_new / delta;
         delta = delta_new;
         for (pi, &di) in p.iter_mut().zip(&d) {
             *pi = mu * *pi - di;
         }
     }
-    PcgResult { x, iterations, residual: res_norm, converged }
+    Ok(PcgResult { x, iterations, residual: res_norm, converged })
 }
 
 #[cfg(test)]
@@ -150,8 +257,8 @@ mod tests {
         fn dim(&self) -> usize {
             self.m.nrows()
         }
-        fn apply(&mut self, x: &[f64], y: &mut [f64]) {
-            self.m.spmv(x, y).unwrap();
+        fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+            self.m.spmv(x, y).map_err(LinsysError::from)
         }
         fn precond_diag(&self) -> Option<Vec<f64>> {
             Some(self.m.diagonal())
@@ -175,7 +282,7 @@ mod tests {
     fn solves_identity_in_one_iteration() {
         let mut op = MatOp { m: CsrMatrix::identity(5) };
         let b = vec![1.0, -2.0, 3.0, 0.5, 0.0];
-        let r = pcg(&mut op, &b, &[0.0; 5], &PcgSettings::default());
+        let r = pcg(&mut op, &b, &[0.0; 5], &PcgSettings::default()).unwrap();
         assert!(r.converged);
         assert!(r.iterations <= 1);
         for (xi, bi) in r.x.iter().zip(&b) {
@@ -191,7 +298,7 @@ mod tests {
         let mut b = vec![0.0; n];
         m.spmv(&x_true, &mut b).unwrap();
         let mut op = MatOp { m };
-        let r = pcg(&mut op, &b, &vec![0.0; n], &PcgSettings::default());
+        let r = pcg(&mut op, &b, &vec![0.0; n], &PcgSettings::default()).unwrap();
         assert!(r.converged, "residual {}", r.residual);
         for (got, want) in r.x.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
@@ -206,7 +313,7 @@ mod tests {
         let mut b = vec![0.0; n];
         m.spmv(&x_true, &mut b).unwrap();
         let mut op = MatOp { m };
-        let r = pcg(&mut op, &b, &x_true, &PcgSettings::default());
+        let r = pcg(&mut op, &b, &x_true, &PcgSettings::default()).unwrap();
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
     }
@@ -214,7 +321,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_immediately_from_zero() {
         let mut op = MatOp { m: spd_matrix(4) };
-        let r = pcg(&mut op, &[0.0; 4], &[0.0; 4], &PcgSettings::default());
+        let r = pcg(&mut op, &[0.0; 4], &[0.0; 4], &PcgSettings::default()).unwrap();
         assert!(r.converged);
         assert_eq!(r.iterations, 0);
         assert_eq!(r.x, vec![0.0; 4]);
@@ -226,12 +333,9 @@ mod tests {
         let m = spd_matrix(n);
         let b = vec![1.0; n];
         let mut op = MatOp { m };
-        let r = pcg(
-            &mut op,
-            &b,
-            &vec![0.0; n],
-            &PcgSettings { eps: 1e-14, eps_abs: 0.0, max_iter: 2 },
-        );
+        let r =
+            pcg(&mut op, &b, &vec![0.0; n], &PcgSettings { eps: 1e-14, eps_abs: 0.0, max_iter: 2 })
+                .unwrap();
         assert!(!r.converged);
         assert_eq!(r.iterations, 2);
     }
@@ -247,18 +351,88 @@ mod tests {
             fn dim(&self) -> usize {
                 self.0.nrows()
             }
-            fn apply(&mut self, x: &[f64], y: &mut [f64]) {
-                self.0.spmv(x, y).unwrap();
+            fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+                self.0.spmv(x, y).map_err(LinsysError::from)
             }
         }
         let b = vec![1.0; n];
         let settings = PcgSettings { eps: 1e-10, ..Default::default() };
         let mut pre = MatOp { m: CsrMatrix::from_diag(&diag) };
-        let with = pcg(&mut pre, &b, &vec![0.0; n], &settings);
+        let with = pcg(&mut pre, &b, &vec![0.0; n], &settings).unwrap();
         let mut nop = NoPre(CsrMatrix::from_diag(&diag));
-        let without = pcg(&mut nop, &b, &vec![0.0; n], &settings);
+        let without = pcg(&mut nop, &b, &vec![0.0; n], &settings).unwrap();
         assert!(with.converged);
         assert!(with.iterations < without.iterations);
         assert!(with.iterations <= 2);
+    }
+
+    #[test]
+    fn indefinite_operator_reports_breakdown() {
+        // diag(1, -1) is indefinite; the rhs steers the search into the
+        // negative-curvature direction.
+        let m = CsrMatrix::from_diag(&[1.0, -1.0]);
+        struct NoPre(CsrMatrix);
+        impl LinearOperator for NoPre {
+            fn dim(&self) -> usize {
+                self.0.nrows()
+            }
+            fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+                self.0.spmv(x, y).map_err(LinsysError::from)
+            }
+        }
+        let mut op = NoPre(m);
+        let err = pcg(&mut op, &[0.0, 1.0], &[0.0; 2], &PcgSettings::default()).unwrap_err();
+        match err {
+            PcgError::Breakdown { curvature, .. } => assert!(curvature <= 0.0),
+            other => panic!("expected breakdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_semidefinite_operator_never_looks_converged() {
+        let m = CsrMatrix::from_diag(&[-2.0, -3.0, -4.0]);
+        let mut op = MatOp { m };
+        let res = pcg(&mut op, &[1.0, 1.0, 1.0], &[0.0; 3], &PcgSettings::default());
+        assert!(res.is_err(), "indefinite solve must not succeed: {res:?}");
+    }
+
+    #[test]
+    fn non_finite_rhs_is_rejected() {
+        let mut op = MatOp { m: spd_matrix(3) };
+        let err =
+            pcg(&mut op, &[1.0, f64::NAN, 0.0], &[0.0; 3], &PcgSettings::default()).unwrap_err();
+        assert!(matches!(err, PcgError::NonFinite { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_operator_output_is_detected() {
+        struct PoisonOp;
+        impl LinearOperator for PoisonOp {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+                y[0] = f64::NAN * x[0].max(1.0);
+                y[1] = x[1];
+                Ok(())
+            }
+        }
+        let err = pcg(&mut PoisonOp, &[1.0, 1.0], &[0.0; 2], &PcgSettings::default()).unwrap_err();
+        assert!(matches!(err, PcgError::NonFinite { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn operator_failure_is_propagated() {
+        struct FailOp;
+        impl LinearOperator for FailOp {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn apply(&mut self, _x: &[f64], _y: &mut [f64]) -> Result<(), LinsysError> {
+                Err(LinsysError::Dimension("device fault".into()))
+            }
+        }
+        let err = pcg(&mut FailOp, &[1.0, 1.0], &[0.0; 2], &PcgSettings::default()).unwrap_err();
+        assert!(matches!(err, PcgError::Operator(_)), "{err:?}");
     }
 }

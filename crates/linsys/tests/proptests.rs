@@ -96,8 +96,9 @@ proptest! {
             &reduced_b,
             &vec![0.0; n],
             &PcgSettings { eps: 1e-12, eps_abs: 1e-14, max_iter: 10_000 },
-        );
-        let scale = 1.0 + rsqp_sparse::vec_ops::inf_norm(&rhs[..n].to_vec());
+        )
+        .unwrap();
+        let scale = 1.0 + rsqp_sparse::vec_ops::inf_norm(&rhs[..n]);
         for i in 0..n {
             prop_assert!(
                 (sol.x[i] - rhs[i]).abs() < 1e-5 * scale,

@@ -13,8 +13,8 @@
 //! stacked over the horizon. The constraint matrix has the banded block
 //! structure visible in Figure 2(g) of the paper.
 
-use rsqp_sparse::CooMatrix;
 use rsqp_solver::QpProblem;
+use rsqp_sparse::CooMatrix;
 
 use crate::util::{dense_randn, randn, rng_for};
 

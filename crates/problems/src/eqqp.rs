@@ -10,8 +10,8 @@
 //! and irregular — the class where the paper's customization helps least
 //! (Figure 9).
 
-use rsqp_sparse::{CooMatrix, CsrMatrix};
 use rsqp_solver::QpProblem;
+use rsqp_sparse::{CooMatrix, CsrMatrix};
 
 use crate::util::{randn, rng_for, sprandn};
 

@@ -10,8 +10,8 @@
 //!
 //! `A_d` has `m_s = 10·n` rows at 15 % density; `M = 1`.
 
-use rsqp_sparse::CooMatrix;
 use rsqp_solver::QpProblem;
+use rsqp_sparse::CooMatrix;
 
 use crate::util::{randn, rng_for, sprandn};
 
@@ -107,7 +107,8 @@ mod tests {
     #[test]
     fn solves_with_nonnegative_slacks() {
         let qp = generate(4, 5);
-        let settings = Settings { eps_abs: 1e-6, eps_rel: 1e-6, max_iter: 20_000, ..Default::default() };
+        let settings =
+            Settings { eps_abs: 1e-6, eps_rel: 1e-6, max_iter: 20_000, ..Default::default() };
         let mut s = Solver::new(&qp, settings).unwrap();
         let r = s.solve().unwrap();
         assert_eq!(r.status, Status::Solved);

@@ -44,10 +44,8 @@ pub fn save_problem(problem: &QpProblem, dir: impl AsRef<Path>) -> io::Result<()
 /// `l > u`), and propagates I/O errors.
 pub fn load_problem(dir: impl AsRef<Path>) -> io::Result<QpProblem> {
     let dir = dir.as_ref();
-    let p = read_matrix_market(std::fs::File::open(dir.join("P.mtx"))?)
-        .map_err(invalid)?;
-    let a = read_matrix_market(std::fs::File::open(dir.join("A.mtx"))?)
-        .map_err(invalid)?;
+    let p = read_matrix_market(std::fs::File::open(dir.join("P.mtx"))?).map_err(invalid)?;
+    let a = read_matrix_market(std::fs::File::open(dir.join("A.mtx"))?).map_err(invalid)?;
     let q = parse_vector(&std::fs::read_to_string(dir.join("q.txt"))?)?;
     let l = parse_vector(&std::fs::read_to_string(dir.join("l.txt"))?)?;
     let u = parse_vector(&std::fs::read_to_string(dir.join("u.txt"))?)?;
@@ -77,9 +75,9 @@ fn parse_vector(text: &str) -> io::Result<Vec<f64>> {
         .map(|l| match l {
             "inf" | "+inf" => Ok(f64::INFINITY),
             "-inf" => Ok(f64::NEG_INFINITY),
-            other => other
-                .parse::<f64>()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad value {other:?}: {e}"))),
+            other => other.parse::<f64>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad value {other:?}: {e}"))
+            }),
         })
         .collect()
 }
@@ -138,7 +136,10 @@ mod tests {
 
     #[test]
     fn vector_parsing_edges() {
-        assert_eq!(parse_vector("1.5\n-inf\ninf\n").unwrap(), vec![1.5, f64::NEG_INFINITY, f64::INFINITY]);
+        assert_eq!(
+            parse_vector("1.5\n-inf\ninf\n").unwrap(),
+            vec![1.5, f64::NEG_INFINITY, f64::INFINITY]
+        );
         assert!(parse_vector("abc").is_err());
         assert_eq!(parse_vector("\n\n").unwrap(), Vec::<f64>::new());
     }

@@ -9,8 +9,8 @@
 //! subject to A_d x − y = b,   −t ≤ x ≤ t
 //! ```
 
-use rsqp_sparse::{vec_ops, CooMatrix};
 use rsqp_solver::QpProblem;
+use rsqp_sparse::{vec_ops, CooMatrix};
 
 use crate::util::{randn, rng_for, sprandn};
 
@@ -32,13 +32,7 @@ pub fn generate(size: usize, seed: u64) -> QpProblem {
     let ad = sprandn(ms, n, 0.15, &mut prng, &mut vrng);
     // Ground-truth sparse coefficients and noisy observations.
     let v: Vec<f64> = (0..n)
-        .map(|_| {
-            if randn(&mut vrng) > 0.0 {
-                randn(&mut vrng) / (n as f64).sqrt()
-            } else {
-                0.0
-            }
-        })
+        .map(|_| if randn(&mut vrng) > 0.0 { randn(&mut vrng) / (n as f64).sqrt() } else { 0.0 })
         .collect();
     let mut b = vec![0.0; ms];
     ad.spmv(&v, &mut b).expect("generator shapes are consistent");

@@ -39,8 +39,8 @@ pub mod io;
 pub mod lasso;
 pub mod portfolio;
 pub mod random;
-pub mod svm;
 mod suite;
+pub mod svm;
 mod util;
 
 pub use suite::{benchmark_suite, small_suite, suite_with_sizes, BenchmarkProblem, Domain};

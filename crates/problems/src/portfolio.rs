@@ -14,8 +14,8 @@
 //! different `μ` up to 120 000 times (§1).
 
 use rand::Rng;
-use rsqp_sparse::CooMatrix;
 use rsqp_solver::QpProblem;
+use rsqp_sparse::CooMatrix;
 
 use crate::util::{randn, rng_for, sprandn};
 
@@ -36,9 +36,7 @@ pub fn generate(size: usize, seed: u64) -> QpProblem {
 
     // F: n x k loadings, 50% density.
     let f = sprandn(n, k, 0.5, &mut prng, &mut vrng);
-    let d_diag: Vec<f64> = (0..n)
-        .map(|_| vrng.gen_range(0.0..1.0) * (k as f64).sqrt())
-        .collect();
+    let d_diag: Vec<f64> = (0..n).map(|_| vrng.gen_range(0.0..1.0) * (k as f64).sqrt()).collect();
     let mu: Vec<f64> = (0..n).map(|_| randn(&mut vrng)).collect();
 
     let nvar = n + k;
@@ -127,7 +125,10 @@ mod tests {
     #[test]
     fn solution_is_a_portfolio() {
         let qp = generate(1, 3);
-        let mut s = Solver::new(&qp, Settings::default()).unwrap();
+        // Bound violation of an unpolished ADMM iterate scales with the
+        // tolerance; solve tightly so the -1e-3 weight check is meaningful.
+        let settings = Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Settings::default() };
+        let mut s = Solver::new(&qp, settings).unwrap();
         let r = s.solve().unwrap();
         assert_eq!(r.status, Status::Solved);
         let total: f64 = r.x[..100].iter().sum();

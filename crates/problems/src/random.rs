@@ -2,8 +2,8 @@
 //! (not part of the paper's 6-domain benchmark).
 
 use rand::Rng;
-use rsqp_sparse::CooMatrix;
 use rsqp_solver::QpProblem;
+use rsqp_sparse::CooMatrix;
 
 use crate::util::{randn, rng_for, sprandn};
 
@@ -130,13 +130,11 @@ pub fn generate_unbounded(n: usize, seed: u64) -> QpProblem {
     let p = coo.to_csr();
     let mut q = vec![0.0; n];
     q[n - 1] = -1.0; // decreasing along the free direction
-    // Constraints: x_i bounded below only.
+                     // Constraints: x_i bounded below only.
     let a = rsqp_sparse::CsrMatrix::identity(n);
     let l = vec![0.0; n];
     let u = vec![f64::INFINITY; n];
-    QpProblem::new(p, q, a, l, u)
-        .expect("structurally valid")
-        .with_name(format!("unbounded_{n}"))
+    QpProblem::new(p, q, a, l, u).expect("structurally valid").with_name(format!("unbounded_{n}"))
 }
 
 /// A 1×n all-ones row, used when the random constraint row came out empty.

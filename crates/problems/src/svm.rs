@@ -8,8 +8,8 @@
 //! `A_d` has `m_s = 10·n` rows at 15 % density; labels `b_i = ±1` with a
 //! class-dependent feature shift so the instance is non-trivially separable.
 
-use rsqp_sparse::CooMatrix;
 use rsqp_solver::QpProblem;
+use rsqp_sparse::CooMatrix;
 
 use crate::util::{rng_for, sprandn};
 

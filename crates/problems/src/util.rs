@@ -65,9 +65,7 @@ pub fn sprandn(
 
 /// Random dense matrix with standard normal entries.
 pub(crate) fn dense_randn(rows: usize, cols: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
-    (0..rows)
-        .map(|_| (0..cols).map(|_| randn(rng)).collect())
-        .collect()
+    (0..rows).map(|_| (0..cols).map(|_| randn(rng)).collect()).collect()
 }
 
 #[cfg(test)]

@@ -33,6 +33,19 @@ pub struct BackendStats {
     pub spmv_evals: usize,
 }
 
+impl BackendStats {
+    /// Field-wise sum, used to combine counters across a backend retired by
+    /// the recovery ladder and its replacement.
+    pub fn merged(self, other: BackendStats) -> BackendStats {
+        BackendStats {
+            kkt_solves: self.kkt_solves + other.kkt_solves,
+            factorizations: self.factorizations + other.factorizations,
+            cg_iterations: self.cg_iterations + other.cg_iterations,
+            spmv_evals: self.spmv_evals + other.spmv_evals,
+        }
+    }
+}
+
 /// A solver for the ADMM KKT system of Eq. (2).
 ///
 /// Implementations receive the **scaled** problem data at construction and
@@ -110,12 +123,7 @@ impl DirectLdltBackend {
     ///
     /// Returns [`SolverError::Linsys`] if the assembly or factorization
     /// fails (e.g. `P` not PSD enough for quasi-definiteness).
-    pub fn new(
-        p: &CsrMatrix,
-        a: &CsrMatrix,
-        sigma: f64,
-        rho: &[f64],
-    ) -> Result<Self, SolverError> {
+    pub fn new(p: &CsrMatrix, a: &CsrMatrix, sigma: f64, rho: &[f64]) -> Result<Self, SolverError> {
         Self::with_ordering(p, a, sigma, rho, KktOrdering::MinDegree)
     }
 
@@ -134,14 +142,12 @@ impl DirectLdltBackend {
         let kkt = KktMatrix::assemble(p, a, sigma, rho)?;
         let permutation = match ordering {
             KktOrdering::Natural => None,
-            KktOrdering::Rcm => Some(SymmetricPermutation::new(
-                kkt.matrix(),
-                rcm_ordering(kkt.matrix()),
-            )),
-            KktOrdering::MinDegree => Some(SymmetricPermutation::new(
-                kkt.matrix(),
-                min_degree_ordering(kkt.matrix()),
-            )),
+            KktOrdering::Rcm => {
+                Some(SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix())))
+            }
+            KktOrdering::MinDegree => {
+                Some(SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix())))
+            }
         };
         let factor = match &permutation {
             Some(sp) => Ldlt::factor(sp.matrix())?,
@@ -266,7 +272,14 @@ impl CpuPcgBackend {
     /// Creates the backend, cloning the (scaled) problem matrices — the
     /// indirect method stores `P`, `A`, and `Aᵀ` separately, exactly as the
     /// paper's accelerator does (§2.2).
-    pub fn new(p: &CsrMatrix, a: &CsrMatrix, sigma: f64, rho: &[f64], eps: f64, max_iter: usize) -> Self {
+    pub fn new(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        eps: f64,
+        max_iter: usize,
+    ) -> Self {
         CpuPcgBackend {
             p: p.clone(),
             a: a.clone(),
@@ -325,8 +338,9 @@ impl KktBackend for CpuPcgBackend {
         let mut op = ReducedKktOp::new(&self.p, &self.a, &self.at, self.sigma, &self.rho);
         let settings = PcgSettings { eps: self.eps, eps_abs: 1e-15, max_iter: self.max_iter };
         let sol = pcg(&mut op, &self.rhs, x, &settings);
-        self.stats.cg_iterations += sol.iterations;
         self.stats.spmv_evals += op.spmv_count() + 2;
+        let sol = sol?;
+        self.stats.cg_iterations += sol.iterations;
         xtilde.copy_from_slice(&sol.x);
         // z̃ = A x̃
         self.a.spmv(xtilde, ztilde)?;
@@ -400,8 +414,7 @@ mod tests {
         let (p, a, rho) = data();
         let mut b = CpuPcgBackend::new(&p, &a, 1e-6, &rho, 1e-10, 1000);
         let (mut xt, mut zt) = (vec![0.0; 2], vec![0.0; 2]);
-        b.solve_kkt(&[0.0; 2], &[0.0; 2], &[0.0; 2], &[1.0, 1.0], &mut xt, &mut zt)
-            .unwrap();
+        b.solve_kkt(&[0.0; 2], &[0.0; 2], &[0.0; 2], &[1.0, 1.0], &mut xt, &mut zt).unwrap();
         assert!(b.stats().cg_iterations > 0);
         assert!(b.stats().spmv_evals > 0);
         assert_eq!(b.stats().kkt_solves, 1);

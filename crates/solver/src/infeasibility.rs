@@ -116,15 +116,7 @@ mod tests {
     fn dual_certificate_detects_unbounded_direction() {
         // minimize -x with x >= 0 (u = inf): direction dx = 1 has P dx = 0,
         // q'dx = -1 < 0, A dx = 1 allowed because u is infinite.
-        assert!(dual_certificate(
-            &[1.0],
-            &[0.0],
-            &[1.0],
-            &[-1.0],
-            &[0.0],
-            &[INF],
-            1e-6
-        ));
+        assert!(dual_certificate(&[1.0], &[0.0], &[1.0], &[-1.0], &[0.0], &[INF], 1e-6));
     }
 
     #[test]
@@ -136,14 +128,6 @@ mod tests {
         // Direction leaves a finite upper bound.
         assert!(!dual_certificate(&[1.0], &[0.0], &[1.0], &[-1.0], &[0.0], &[5.0], 1e-6));
         // Direction leaves a finite lower bound.
-        assert!(!dual_certificate(
-            &[1.0],
-            &[0.0],
-            &[-1.0],
-            &[-1.0],
-            &[0.0],
-            &[INF],
-            1e-6
-        ));
+        assert!(!dual_certificate(&[1.0], &[0.0], &[-1.0], &[-1.0], &[0.0], &[INF], 1e-6));
     }
 }

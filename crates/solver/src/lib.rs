@@ -48,6 +48,7 @@
 
 mod backend;
 mod error;
+mod guard;
 mod infeasibility;
 mod polish;
 mod problem;
@@ -60,6 +61,7 @@ mod termination;
 
 pub use backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
 pub use error::SolverError;
+pub use guard::{Anomaly, Guard, GuardReport, GuardSettings, RecoveryAction};
 pub use polish::{polish, PolishOutcome};
 pub use problem::QpProblem;
 pub use rho::RhoManager;

@@ -100,7 +100,7 @@ pub fn polish(
     }
     let mut sol = factor.solve(&rhs);
     for _ in 0..refine_iters {
-        let residual = kkt_residual(problem, &active, &sol, &rhs);
+        let residual = kkt_residual(problem, &active, &sol, &rhs)?;
         let mut corr = residual;
         factor.solve_in_place(&mut corr);
         for (s, c) in sol.iter_mut().zip(&corr) {
@@ -143,16 +143,13 @@ fn kkt_residual(
     active: &[(usize, f64)],
     sol: &[f64],
     rhs: &[f64],
-) -> Vec<f64> {
+) -> Result<Vec<f64>, SolverError> {
     let n = problem.num_vars();
     let k = active.len();
     let mut out = rhs.to_vec();
     // Top block: P x + A_actᵀ ν.
     let mut px = vec![0.0; n];
-    problem
-        .p()
-        .spmv(&sol[..n], &mut px)
-        .expect("shapes fixed by problem validation");
+    problem.p().spmv(&sol[..n], &mut px)?;
     for j in 0..n {
         out[j] -= px[j];
     }
@@ -167,7 +164,7 @@ fn kkt_residual(
         out[n + slot] -= ax;
     }
     debug_assert_eq!(out.len(), n + k);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -211,9 +208,7 @@ mod tests {
             vec![10.0, 10.0],
         )
         .expect("valid problem");
-        let out = polish(&qp, &[0.0, 0.0], 1e-7, 3)
-            .unwrap()
-            .expect("polish succeeds");
+        let out = polish(&qp, &[0.0, 0.0], 1e-7, 3).unwrap().expect("polish succeeds");
         assert!((out.x[0] - 1.0).abs() < 1e-9);
         assert!((out.x[1] - 1.0).abs() < 1e-9);
     }

@@ -25,13 +25,45 @@ pub struct QpProblem {
     name: String,
 }
 
+/// Rejects non-finite entries in problem data (NaN poisons every downstream
+/// residual check, so it must be stopped at the boundary).
+fn require_finite(name: &str, data: &[f64]) -> Result<(), SolverError> {
+    if let Some(i) = data.iter().position(|v| !v.is_finite()) {
+        return Err(SolverError::InvalidProblem(format!(
+            "{name} contains a non-finite entry ({}) at index {i}",
+            data[i]
+        )));
+    }
+    Ok(())
+}
+
+/// Rejects NaN bounds; ±∞ are legitimate "no bound" sentinels.
+fn require_bounds_well_formed(l: &[f64], u: &[f64]) -> Result<(), SolverError> {
+    for i in 0..l.len() {
+        if l[i].is_nan() || u[i].is_nan() {
+            return Err(SolverError::InvalidProblem(format!(
+                "bounds contain NaN at index {i} (l = {}, u = {})",
+                l[i], u[i]
+            )));
+        }
+        if l[i] > u[i] {
+            return Err(SolverError::InvalidProblem(format!(
+                "l[{i}] = {} > u[{i}] = {}",
+                l[i], u[i]
+            )));
+        }
+    }
+    Ok(())
+}
+
 impl QpProblem {
     /// Builds and validates a problem.
     ///
     /// # Errors
     ///
     /// Returns [`SolverError::InvalidProblem`] if shapes disagree, `P` is not
-    /// square or not symmetric (to 1e-10 relative), or some `l_i > u_i`.
+    /// square or not symmetric (to 1e-10 relative), some `l_i > u_i`, or any
+    /// datum is non-finite (bounds may be ±∞, never NaN).
     pub fn new(
         p: CsrMatrix,
         q: Vec<f64>,
@@ -67,14 +99,10 @@ impl QpProblem {
                 u.len()
             )));
         }
-        for i in 0..m {
-            if l[i] > u[i] {
-                return Err(SolverError::InvalidProblem(format!(
-                    "l[{i}] = {} > u[{i}] = {}",
-                    l[i], u[i]
-                )));
-            }
-        }
+        require_finite("P", p.data())?;
+        require_finite("A", a.data())?;
+        require_finite("q", &q)?;
+        require_bounds_well_formed(&l, &u)?;
         // Symmetry check: P == Pᵀ entry-wise within a relative tolerance.
         let pt = p.transpose();
         let scale = 1.0 + vec_ops::inf_norm(p.data());
@@ -85,9 +113,7 @@ impl QpProblem {
         }
         for (a_v, b_v) in p.data().iter().zip(pt.data()) {
             if (a_v - b_v).abs() > 1e-10 * scale {
-                return Err(SolverError::InvalidProblem(
-                    "P is not symmetric".into(),
-                ));
+                return Err(SolverError::InvalidProblem("P is not symmetric".into()));
             }
         }
         Ok(QpProblem { p, q, a, l, u, name: String::new() })
@@ -178,18 +204,14 @@ impl QpProblem {
     ///
     /// # Errors
     ///
-    /// Returns [`SolverError::InvalidProblem`] on length mismatch or
-    /// `l_i > u_i`.
+    /// Returns [`SolverError::InvalidProblem`] on length mismatch,
+    /// `l_i > u_i`, or NaN bounds.
     pub fn update_bounds(&mut self, l: Vec<f64>, u: Vec<f64>) -> Result<(), SolverError> {
         let m = self.num_constraints();
         if l.len() != m || u.len() != m {
             return Err(SolverError::InvalidProblem("bound length mismatch".into()));
         }
-        for i in 0..m {
-            if l[i] > u[i] {
-                return Err(SolverError::InvalidProblem(format!("l[{i}] > u[{i}]")));
-            }
-        }
+        require_bounds_well_formed(&l, &u)?;
         self.l = l;
         self.u = u;
         Ok(())
@@ -239,11 +261,13 @@ impl QpProblem {
     ///
     /// # Errors
     ///
-    /// Returns [`SolverError::InvalidProblem`] on length mismatch.
+    /// Returns [`SolverError::InvalidProblem`] on length mismatch or
+    /// non-finite entries.
     pub fn update_q(&mut self, q: Vec<f64>) -> Result<(), SolverError> {
         if q.len() != self.num_vars() {
             return Err(SolverError::InvalidProblem("q length mismatch".into()));
         }
+        require_finite("q", &q)?;
         self.q = q;
         Ok(())
     }
@@ -283,13 +307,7 @@ mod tests {
     #[test]
     fn rejects_asymmetric_p() {
         let p = CsrMatrix::from_dense(&[vec![1.0, 2.0], vec![0.5, 1.0]]);
-        let err = QpProblem::new(
-            p,
-            vec![0.0, 0.0],
-            CsrMatrix::zeros(0, 2),
-            vec![],
-            vec![],
-        );
+        let err = QpProblem::new(p, vec![0.0, 0.0], CsrMatrix::zeros(0, 2), vec![], vec![]);
         assert!(matches!(err, Err(SolverError::InvalidProblem(_))));
     }
 
@@ -329,6 +347,61 @@ mod tests {
             vec![0.0; 3]
         )
         .is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_p_entries() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let p = CsrMatrix::from_dense(&[vec![bad, 0.0], vec![0.0, 1.0]]);
+            let err = QpProblem::new(p, vec![0.0; 2], CsrMatrix::zeros(0, 2), vec![], vec![]);
+            assert!(matches!(err, Err(SolverError::InvalidProblem(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_a_entries() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let a = CsrMatrix::from_dense(&[vec![bad, 1.0]]);
+            let err = QpProblem::new(CsrMatrix::identity(2), vec![0.0; 2], a, vec![0.0], vec![1.0]);
+            assert!(matches!(err, Err(SolverError::InvalidProblem(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_q_entries() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let err = QpProblem::new(
+                CsrMatrix::identity(1),
+                vec![bad],
+                CsrMatrix::identity(1),
+                vec![0.0],
+                vec![1.0],
+            );
+            assert!(matches!(err, Err(SolverError::InvalidProblem(_))), "{bad}");
+        }
+        let mut p = valid();
+        assert!(p.update_q(vec![f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_bounds_but_accepts_infinite_sentinels() {
+        let mk = |l: f64, u: f64| {
+            QpProblem::new(
+                CsrMatrix::identity(1),
+                vec![0.0],
+                CsrMatrix::identity(1),
+                vec![l],
+                vec![u],
+            )
+        };
+        assert!(mk(f64::NAN, 1.0).is_err());
+        assert!(mk(0.0, f64::NAN).is_err());
+        // ±∞ are the "unbounded side" sentinels and must stay legal.
+        assert!(mk(f64::NEG_INFINITY, f64::INFINITY).is_ok());
+        assert!(mk(f64::NEG_INFINITY, 1.0).is_ok());
+        let mut p = valid();
+        assert!(p.update_bounds(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(p.update_bounds(vec![f64::NEG_INFINITY], vec![f64::INFINITY]).is_ok());
     }
 
     #[test]

@@ -100,13 +100,7 @@ impl RhoManager {
     ///
     /// Returns `None` when the inputs are degenerate (zero scales or
     /// residuals), in which case no update should happen.
-    pub fn candidate(
-        &self,
-        r_prim: f64,
-        s_prim: f64,
-        r_dual: f64,
-        s_dual: f64,
-    ) -> Option<f64> {
+    pub fn candidate(&self, r_prim: f64, s_prim: f64, r_dual: f64, s_dual: f64) -> Option<f64> {
         if s_prim <= 0.0 || s_dual <= 0.0 || r_prim <= 0.0 || r_dual <= 0.0 {
             return None;
         }
@@ -165,11 +159,7 @@ mod tests {
 
     #[test]
     fn classification_covers_all_kinds() {
-        let mgr = RhoManager::new(
-            0.1,
-            &[1.0, 0.0, -INF, -INF],
-            &[1.0, 2.0, INF, 3.0],
-        );
+        let mgr = RhoManager::new(0.1, &[1.0, 0.0, -INF, -INF], &[1.0, 2.0, INF, 3.0]);
         assert_eq!(
             mgr.kinds(),
             &[

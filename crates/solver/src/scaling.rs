@@ -64,9 +64,7 @@ impl Scaling {
             let p_cols = ps.column_inf_norms();
             let a_cols = as_.column_inf_norms();
             let a_rows = as_.row_inf_norms();
-            let dx: Vec<f64> = (0..n)
-                .map(|j| inv_sqrt_clamped(p_cols[j].max(a_cols[j])))
-                .collect();
+            let dx: Vec<f64> = (0..n).map(|j| inv_sqrt_clamped(p_cols[j].max(a_cols[j]))).collect();
             let dz: Vec<f64> = (0..m).map(|i| inv_sqrt_clamped(a_rows[i])).collect();
 
             ps.scale_rows(&dx);

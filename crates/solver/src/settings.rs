@@ -1,3 +1,4 @@
+use crate::guard::GuardSettings;
 use crate::SolverError;
 
 /// Which KKT backend [`crate::Solver::new`] constructs.
@@ -94,6 +95,8 @@ pub struct Settings {
     /// Optional wall-clock budget for `solve` (checked at termination
     /// checks; `None` disables the limit).
     pub time_limit: Option<std::time::Duration>,
+    /// Numerical-guard and recovery-ladder configuration.
+    pub guard: GuardSettings,
 }
 
 impl Default for Settings {
@@ -120,6 +123,7 @@ impl Default for Settings {
             polish_delta: 1e-6,
             polish_refine_iters: 3,
             time_limit: None,
+            guard: GuardSettings::default(),
         }
     }
 }
@@ -152,9 +156,7 @@ impl Settings {
             ));
         }
         if self.check_termination == 0 {
-            return Err(SolverError::InvalidSetting(
-                "check_termination must be positive".into(),
-            ));
+            return Err(SolverError::InvalidSetting("check_termination must be positive".into()));
         }
         if self.adaptive_rho_interval == 0 {
             return Err(SolverError::InvalidSetting(
@@ -162,16 +164,16 @@ impl Settings {
             ));
         }
         if self.adaptive_rho_tolerance < 1.0 {
-            return Err(SolverError::InvalidSetting(
-                "adaptive_rho_tolerance must be >= 1".into(),
-            ));
+            return Err(SolverError::InvalidSetting("adaptive_rho_tolerance must be >= 1".into()));
         }
         if self.polish_delta <= 0.0 {
             return Err(SolverError::InvalidSetting("polish_delta must be positive".into()));
         }
         match self.cg_tolerance {
             CgTolerance::Fixed(eps) if eps <= 0.0 => {
-                return Err(SolverError::InvalidSetting("fixed CG tolerance must be positive".into()))
+                return Err(SolverError::InvalidSetting(
+                    "fixed CG tolerance must be positive".into(),
+                ))
             }
             CgTolerance::Adaptive { fraction, min, start }
                 if fraction <= 0.0 || min <= 0.0 || start < min =>
@@ -181,6 +183,12 @@ impl Settings {
                 ))
             }
             _ => {}
+        }
+        let thr = self.guard.divergence_threshold;
+        if !thr.is_finite() || thr <= 0.0 {
+            return Err(SolverError::InvalidSetting(
+                "guard divergence_threshold must be positive and finite".into(),
+            ));
         }
         Ok(())
     }
@@ -212,17 +220,13 @@ mod tests {
     #[test]
     fn rejects_zero_intervals() {
         assert!(Settings { check_termination: 0, ..Default::default() }.validate().is_err());
-        assert!(Settings { adaptive_rho_interval: 0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(Settings { adaptive_rho_interval: 0, ..Default::default() }.validate().is_err());
         assert!(Settings { max_iter: 0, ..Default::default() }.validate().is_err());
     }
 
     #[test]
     fn rejects_bad_tolerances() {
-        assert!(Settings { eps_abs: 0.0, eps_rel: 0.0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(Settings { eps_abs: 0.0, eps_rel: 0.0, ..Default::default() }.validate().is_err());
         assert!(Settings { cg_tolerance: CgTolerance::Fixed(0.0), ..Default::default() }
             .validate()
             .is_err());
@@ -232,5 +236,17 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_guard_threshold() {
+        use crate::guard::GuardSettings;
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let s = Settings {
+                guard: GuardSettings { divergence_threshold: bad, ..Default::default() },
+                ..Default::default()
+            };
+            assert!(s.validate().is_err(), "threshold {bad} accepted");
+        }
     }
 }

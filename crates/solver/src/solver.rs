@@ -5,10 +5,16 @@ use std::time::{Duration, Instant};
 use rsqp_sparse::CsrMatrix;
 
 use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
+use crate::guard::{Anomaly, Guard, GuardReport, RecoveryAction};
 use crate::infeasibility::{dual_certificate, primal_certificate};
 use crate::settings::{CgTolerance, LinSysKind};
 use crate::termination::{residuals, ResidualInfo};
 use crate::{QpProblem, RhoManager, Scaling, Settings, SolverError, Status};
+
+/// Floor for guard-driven CG tolerance tightening.
+const GUARD_CG_FLOOR: f64 = 1e-12;
+/// Multiplier applied to the CG tolerance at the tightening rung.
+const GUARD_CG_SHRINK: f64 = 1e-2;
 
 /// Wall-clock breakdown of a solve, used to reproduce Figure 8 (the share of
 /// solver time spent in the KKT solve).
@@ -57,7 +63,11 @@ pub struct SolveResult {
     pub rho_updates: usize,
     /// Whether solution polishing ran and improved the iterate.
     pub polished: bool,
-    /// Work counters from the KKT backend.
+    /// Numerical-guard interventions (resets, tolerance tightenings,
+    /// backend fallbacks) during this solve.
+    pub guard: GuardReport,
+    /// Work counters from the KKT backend (summed over a backend replaced
+    /// by the recovery ladder and its successor).
     pub backend: BackendStats,
     /// Wall-clock breakdown.
     pub timings: TimingBreakdown,
@@ -67,7 +77,7 @@ impl std::fmt::Display for SolveResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "status: {} | iters: {} | obj: {:.6e} | pri res: {:.3e} | dua res: {:.3e}{}{}",
+            "status: {} | iters: {} | obj: {:.6e} | pri res: {:.3e} | dua res: {:.3e}{}{}{}",
             self.status,
             self.iterations,
             self.objective,
@@ -76,6 +86,11 @@ impl std::fmt::Display for SolveResult {
             if self.polished { " | polished" } else { "" },
             if self.rho_updates > 0 {
                 format!(" | rho updates: {}", self.rho_updates)
+            } else {
+                String::new()
+            },
+            if self.guard.intervened() {
+                format!(" | recoveries: {}", self.guard.faults_detected)
             } else {
                 String::new()
             }
@@ -107,6 +122,8 @@ pub struct Solver {
     z: Vec<f64>,
     y: Vec<f64>,
     setup_time: Duration,
+    /// Work counters of backends retired by the recovery ladder.
+    retired_stats: BackendStats,
 }
 
 impl std::fmt::Debug for Solver {
@@ -129,9 +146,9 @@ impl Solver {
     pub fn new(problem: &QpProblem, settings: Settings) -> Result<Self, SolverError> {
         let kind = settings.linsys;
         Self::with_backend(problem, settings, &mut |p, a, sigma, rho, s| match kind {
-            LinSysKind::DirectLdlt => Ok(Box::new(DirectLdltBackend::with_ordering(
-                p, a, sigma, rho, s.ordering,
-            )?)),
+            LinSysKind::DirectLdlt => {
+                Ok(Box::new(DirectLdltBackend::with_ordering(p, a, sigma, rho, s.ordering)?))
+            }
             LinSysKind::CpuPcg => {
                 let eps = match s.cg_tolerance {
                     CgTolerance::Fixed(e) => e,
@@ -165,7 +182,8 @@ impl Solver {
         let m = problem.num_constraints();
 
         let (scaling, p, q, a) = if settings.scaling_iters > 0 {
-            let (sc, data) = Scaling::ruiz(problem.p(), problem.q(), problem.a(), settings.scaling_iters);
+            let (sc, data) =
+                Scaling::ruiz(problem.p(), problem.q(), problem.a(), settings.scaling_iters);
             (sc, data.p, data.q, data.a)
         } else {
             (
@@ -193,6 +211,7 @@ impl Solver {
             z: vec![0.0; m],
             y: vec![0.0; m],
             setup_time: start.elapsed(),
+            retired_stats: BackendStats::default(),
         })
     }
 
@@ -208,15 +227,23 @@ impl Solver {
 
     /// Warm-starts the iterates from an unscaled primal/dual guess.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on length mismatches.
-    pub fn warm_start(&mut self, x: &[f64], y: &[f64]) {
-        assert_eq!(x.len(), self.x.len(), "warm-start x length");
-        assert_eq!(y.len(), self.y.len(), "warm-start y length");
+    /// Returns [`SolverError::InvalidProblem`] on length mismatches.
+    pub fn warm_start(&mut self, x: &[f64], y: &[f64]) -> Result<(), SolverError> {
+        if x.len() != self.x.len() || y.len() != self.y.len() {
+            return Err(SolverError::InvalidProblem(format!(
+                "warm-start lengths ({}, {}) do not match problem ({}, {})",
+                x.len(),
+                y.len(),
+                self.x.len(),
+                self.y.len()
+            )));
+        }
         self.x = self.scaling.scale_x(x);
         self.y = self.scaling.scale_y(y);
-        self.a.spmv(&self.x, &mut self.z).expect("shapes fixed at setup");
+        self.a.spmv(&self.x, &mut self.z)?;
+        Ok(())
     }
 
     /// Resets the iterates to zero (cold start).
@@ -292,9 +319,8 @@ impl Solver {
         self.u = us;
         self.x = self.scaling.scale_x(&x_un);
         self.y = self.scaling.scale_y(&y_un);
-        self.a.spmv(&self.x, &mut self.z).expect("shapes fixed at setup");
-        self.backend
-            .update_matrices(&self.p, &self.a, self.rho_mgr.rho_vec())?;
+        self.a.spmv(&self.x, &mut self.z)?;
+        self.backend.update_matrices(&self.p, &self.a, self.rho_mgr.rho_vec())?;
         Ok(())
     }
 
@@ -370,15 +396,43 @@ impl Solver {
         let mut iterations = s.max_iter;
         let mut last_info: Option<ResidualInfo> = None;
         let mut last_rho_iter = 0usize;
+        let mut guard = if s.guard.enabled {
+            Some(Guard::new(s.guard, &self.x, &self.z, &self.y))
+        } else {
+            None
+        };
 
         for k in 1..=s.max_iter {
             prev_x.copy_from_slice(&self.x);
             prev_y.copy_from_slice(&self.y);
 
             let t = Instant::now();
-            self.backend
-                .solve_kkt(&self.x, &self.z, &self.y, &self.q, &mut xtilde, &mut ztilde)?;
+            let kkt_result = self.backend.solve_kkt(
+                &self.x,
+                &self.z,
+                &self.y,
+                &self.q,
+                &mut xtilde,
+                &mut ztilde,
+            );
             kkt_time += t.elapsed();
+            if let Err(e) = kkt_result {
+                match guard.as_mut() {
+                    Some(g) if e.is_recoverable() => {
+                        if self.apply_recovery(
+                            g,
+                            &Anomaly::BackendFault { error: e },
+                            &mut cg_eps,
+                        )? {
+                            continue;
+                        }
+                        status = Status::NumericalError;
+                        iterations = k;
+                        break;
+                    }
+                    _ => return Err(e),
+                }
+            }
 
             // x^{k+1} = α x̃ + (1−α) x^k        (Algorithm 1, line 5)
             for j in 0..n {
@@ -389,8 +443,8 @@ impl Solver {
             let rho_inv = self.rho_mgr.rho_inv_vec();
             let rho_vec = self.rho_mgr.rho_vec();
             for i in 0..m {
-                zcand[i] = s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i]
-                    + rho_inv[i] * self.y[i];
+                zcand[i] =
+                    s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i] + rho_inv[i] * self.y[i];
                 self.z[i] = zcand[i].max(self.l[i]).min(self.u[i]);
                 self.y[i] = rho_vec[i] * (zcand[i] - self.z[i]);
             }
@@ -401,22 +455,24 @@ impl Solver {
             }
 
             // Residuals (unscaled) from scaled intermediates.
-            self.a.spmv(&self.x, &mut ax).expect("shapes fixed at setup");
-            self.p.spmv(&self.x, &mut px).expect("shapes fixed at setup");
-            self.a
-                .spmv_transpose(&self.y, &mut aty)
-                .expect("shapes fixed at setup");
-            let info = residuals(
-                &self.scaling,
-                &ax,
-                &self.z,
-                &px,
-                &aty,
-                &self.q,
-                s.eps_abs,
-                s.eps_rel,
-            );
+            self.a.spmv(&self.x, &mut ax)?;
+            self.p.spmv(&self.x, &mut px)?;
+            self.a.spmv_transpose(&self.y, &mut aty)?;
+            let info =
+                residuals(&self.scaling, &ax, &self.z, &px, &aty, &self.q, s.eps_abs, s.eps_rel);
             last_info = Some(info);
+
+            if let Some(g) = guard.as_mut() {
+                if let Some(anomaly) = g.inspect(&self.x, &self.z, &self.y, info.prim, info.dual) {
+                    if self.apply_recovery(g, &anomaly, &mut cg_eps)? {
+                        continue;
+                    }
+                    status = Status::NumericalError;
+                    iterations = k;
+                    break;
+                }
+                g.record_good(&self.x, &self.z, &self.y);
+            }
 
             if info.converged() {
                 status = Status::Solved;
@@ -432,12 +488,12 @@ impl Solver {
                 }
             }
 
-            if self.detect_primal_infeasible(&prev_y, s.eps_prim_inf) {
+            if self.detect_primal_infeasible(&prev_y, s.eps_prim_inf)? {
                 status = Status::PrimalInfeasible;
                 iterations = k;
                 break;
             }
-            if self.detect_dual_infeasible(&prev_x, s.eps_dual_inf) {
+            if self.detect_dual_infeasible(&prev_x, s.eps_dual_inf)? {
                 status = Status::DualInfeasible;
                 iterations = k;
                 break;
@@ -482,12 +538,9 @@ impl Solver {
         };
         let mut polished = false;
         if s.polish && status == Status::Solved {
-            if let Some(out) = crate::polish::polish(
-                &self.orig,
-                &y,
-                s.polish_delta,
-                s.polish_refine_iters,
-            )? {
+            if let Some(out) =
+                crate::polish::polish(&self.orig, &y, s.polish_delta, s.polish_refine_iters)?
+            {
                 // Accept only if both residuals improve (OSQP's rule).
                 if out.prim_res <= prim_res.max(1e-30) && out.dual_res <= dual_res.max(1e-30) {
                     x = out.x;
@@ -498,6 +551,15 @@ impl Solver {
                     polished = true;
                 }
             }
+        }
+        // Last line of defense, guard or no guard: never report Solved with
+        // a non-finite solution.
+        if status == Status::Solved
+            && !(x.iter().all(|v| v.is_finite())
+                && y.iter().all(|v| v.is_finite())
+                && z.iter().all(|v| v.is_finite()))
+        {
+            status = Status::NumericalError;
         }
         let objective = self.orig.objective(&x);
         Ok(SolveResult {
@@ -510,8 +572,9 @@ impl Solver {
             prim_res,
             dual_res,
             polished,
+            guard: guard.map(|g| g.report()).unwrap_or_default(),
             rho_updates: self.rho_mgr.updates(),
-            backend: self.backend.stats(),
+            backend: self.retired_stats.merged(self.backend.stats()),
             timings: TimingBreakdown {
                 setup: self.setup_time,
                 solve: t_start.elapsed(),
@@ -520,33 +583,67 @@ impl Solver {
         })
     }
 
-    fn detect_primal_infeasible(&self, prev_y: &[f64], eps: f64) -> bool {
+    /// Applies one rung of the recovery ladder. Returns `Ok(true)` when the
+    /// solve should continue iterating, `Ok(false)` when the ladder is
+    /// exhausted (caller reports [`Status::NumericalError`]).
+    fn apply_recovery(
+        &mut self,
+        guard: &mut Guard,
+        anomaly: &Anomaly,
+        cg_eps: &mut f64,
+    ) -> Result<bool, SolverError> {
+        let can_fallback = self.backend.name() != "ldlt";
+        match guard.recover(anomaly, can_fallback) {
+            RecoveryAction::ResetIterates => {
+                guard.restore(&mut self.x, &mut self.z, &mut self.y);
+                Ok(true)
+            }
+            RecoveryAction::TightenCgTolerance => {
+                guard.restore(&mut self.x, &mut self.z, &mut self.y);
+                *cg_eps = (*cg_eps * GUARD_CG_SHRINK).max(GUARD_CG_FLOOR);
+                self.backend.set_cg_tolerance(*cg_eps);
+                Ok(true)
+            }
+            RecoveryAction::FallbackToDirect => {
+                guard.restore(&mut self.x, &mut self.z, &mut self.y);
+                // The direct factorization is the safety net; if even it
+                // cannot be built the error is structural and propagates.
+                let direct = DirectLdltBackend::with_ordering(
+                    &self.p,
+                    &self.a,
+                    self.settings.sigma,
+                    self.rho_mgr.rho_vec(),
+                    self.settings.ordering,
+                )?;
+                self.retired_stats = self.retired_stats.merged(self.backend.stats());
+                self.backend = Box::new(direct);
+                Ok(true)
+            }
+            RecoveryAction::Abort => Ok(false),
+        }
+    }
+
+    fn detect_primal_infeasible(&self, prev_y: &[f64], eps: f64) -> Result<bool, SolverError> {
         let m = self.y.len();
         if m == 0 {
-            return false;
+            return Ok(false);
         }
         // δȳ in scaled space, mapped to unscaled: δy = c⁻¹·E·δȳ.
         let cinv = self.scaling.cinv();
         let e = self.scaling.e();
         let dinv = self.scaling.dinv();
         let dy_scaled: Vec<f64> = self.y.iter().zip(prev_y).map(|(a, b)| a - b).collect();
-        let dy: Vec<f64> = dy_scaled
-            .iter()
-            .zip(e)
-            .map(|(&v, &ei)| cinv * ei * v)
-            .collect();
+        let dy: Vec<f64> = dy_scaled.iter().zip(e).map(|(&v, &ei)| cinv * ei * v).collect();
         // Aᵀδy (unscaled) = c⁻¹·D⁻¹·Āᵀ·δȳ.
         let mut at_dy = vec![0.0; self.x.len()];
-        self.a
-            .spmv_transpose(&dy_scaled, &mut at_dy)
-            .expect("shapes fixed at setup");
+        self.a.spmv_transpose(&dy_scaled, &mut at_dy)?;
         for (v, &di) in at_dy.iter_mut().zip(dinv) {
             *v *= cinv * di;
         }
-        primal_certificate(&dy, &at_dy, self.orig.l(), self.orig.u(), eps)
+        Ok(primal_certificate(&dy, &at_dy, self.orig.l(), self.orig.u(), eps))
     }
 
-    fn detect_dual_infeasible(&self, prev_x: &[f64], eps: f64) -> bool {
+    fn detect_dual_infeasible(&self, prev_x: &[f64], eps: f64) -> Result<bool, SolverError> {
         // δx̄ scaled; unscaled δx = D·δx̄.
         let d = self.scaling.d();
         let dinv = self.scaling.dinv();
@@ -556,16 +653,16 @@ impl Solver {
         let dx: Vec<f64> = dx_scaled.iter().zip(d).map(|(&v, &di)| v * di).collect();
         // P·δx (unscaled) = c⁻¹·D⁻¹·P̄·δx̄.
         let mut p_dx = vec![0.0; dx.len()];
-        self.p.spmv(&dx_scaled, &mut p_dx).expect("shapes fixed at setup");
+        self.p.spmv(&dx_scaled, &mut p_dx)?;
         for (v, &di) in p_dx.iter_mut().zip(dinv) {
             *v *= cinv * di;
         }
         // A·δx (unscaled) = E⁻¹·Ā·δx̄.
         let mut a_dx = vec![0.0; self.z.len()];
-        self.a.spmv(&dx_scaled, &mut a_dx).expect("shapes fixed at setup");
+        self.a.spmv(&dx_scaled, &mut a_dx)?;
         for (v, &ei) in a_dx.iter_mut().zip(einv) {
             *v *= ei;
         }
-        dual_certificate(&dx, &p_dx, &a_dx, self.orig.q(), self.orig.l(), self.orig.u(), eps)
+        Ok(dual_certificate(&dx, &p_dx, &a_dx, self.orig.q(), self.orig.l(), self.orig.u(), eps))
     }
 }

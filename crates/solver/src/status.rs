@@ -14,6 +14,10 @@ pub enum Status {
     /// A dual-infeasibility certificate was found (`x` direction, unbounded
     /// objective).
     DualInfeasible,
+    /// The iterates became non-finite or diverged and the recovery ladder
+    /// was exhausted; the returned vectors are the last known-good iterate,
+    /// not a solution.
+    NumericalError,
 }
 
 impl Status {
@@ -31,6 +35,7 @@ impl fmt::Display for Status {
             Status::TimeLimitReached => "time limit reached",
             Status::PrimalInfeasible => "primal infeasible",
             Status::DualInfeasible => "dual infeasible",
+            Status::NumericalError => "numerical error",
         };
         f.write_str(s)
     }
@@ -46,5 +51,7 @@ mod tests {
         assert!(Status::Solved.is_solved());
         assert!(!Status::PrimalInfeasible.is_solved());
         assert!(Status::DualInfeasible.to_string().contains("dual"));
+        assert!(!Status::NumericalError.is_solved());
+        assert_eq!(Status::NumericalError.to_string(), "numerical error");
     }
 }

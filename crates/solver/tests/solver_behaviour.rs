@@ -2,9 +2,7 @@
 //! backend agreement, infeasibility detection, warm starting, and
 //! parametric updates.
 
-use rsqp_solver::{
-    CgTolerance, LinSysKind, QpProblem, Settings, Solver, Status,
-};
+use rsqp_solver::{CgTolerance, LinSysKind, QpProblem, Settings, Solver, Status};
 use rsqp_sparse::CsrMatrix;
 
 const INF: f64 = f64::INFINITY;
@@ -35,13 +33,7 @@ fn equality_qp() -> QpProblem {
 }
 
 fn tight_settings(kind: LinSysKind) -> Settings {
-    Settings {
-        eps_abs: 1e-6,
-        eps_rel: 1e-6,
-        max_iter: 20_000,
-        linsys: kind,
-        ..Default::default()
-    }
+    Settings { eps_abs: 1e-6, eps_rel: 1e-6, max_iter: 20_000, linsys: kind, ..Default::default() }
 }
 
 #[test]
@@ -193,15 +185,10 @@ fn warm_start_reduces_iterations() {
     let r1 = s.solve().unwrap();
     assert_eq!(r1.status, Status::Solved);
     // Re-solve warm-started at the solution.
-    s.warm_start(&r1.x, &r1.y);
+    s.warm_start(&r1.x, &r1.y).unwrap();
     let r2 = s.solve().unwrap();
     assert_eq!(r2.status, Status::Solved);
-    assert!(
-        r2.iterations <= r1.iterations,
-        "warm {} vs cold {}",
-        r2.iterations,
-        r1.iterations
-    );
+    assert!(r2.iterations <= r1.iterations, "warm {} vs cold {}", r2.iterations, r1.iterations);
 }
 
 #[test]
@@ -233,12 +220,8 @@ fn parametric_q_update_resolves() {
 
 #[test]
 fn scaling_off_still_solves() {
-    let settings = Settings {
-        scaling_iters: 0,
-        eps_abs: 1e-5,
-        eps_rel: 1e-5,
-        ..Default::default()
-    };
+    let settings =
+        Settings { scaling_iters: 0, eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() };
     let mut s = Solver::new(&equality_qp(), settings).unwrap();
     let r = s.solve().unwrap();
     assert_eq!(r.status, Status::Solved);

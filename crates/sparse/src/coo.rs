@@ -92,11 +92,7 @@ impl CooMatrix {
 
     /// Iterates over the stored triplets as `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.rows
-            .iter()
-            .zip(&self.cols)
-            .zip(&self.vals)
-            .map(|((&r, &c), &v)| (r, c, v))
+        self.rows.iter().zip(&self.cols).zip(&self.vals).map(|((&r, &c), &v)| (r, c, v))
     }
 
     /// Converts to CSR, summing duplicate entries.
@@ -127,7 +123,9 @@ impl CooMatrix {
         let mut segment: Vec<(usize, f64)> = Vec::new();
         for r in 0..self.nrows {
             segment.clear();
-            segment.extend(order[counts[r]..counts[r + 1]].iter().map(|&k| (self.cols[k], self.vals[k])));
+            segment.extend(
+                order[counts[r]..counts[r + 1]].iter().map(|&k| (self.cols[k], self.vals[k])),
+            );
             segment.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < segment.len() {

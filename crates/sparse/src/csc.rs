@@ -264,9 +264,7 @@ mod tests {
     #[test]
     fn invalid_structure_rejected() {
         assert!(CscMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
-        assert!(
-            CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CscMatrix::from_raw_parts(3, 1, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

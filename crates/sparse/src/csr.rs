@@ -60,9 +60,7 @@ impl CsrMatrix {
         }
         for r in 0..nrows {
             if indptr[r] > indptr[r + 1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "indptr decreases at row {r}"
-                )));
+                return Err(SparseError::InvalidStructure(format!("indptr decreases at row {r}")));
             }
             let row = &indices[indptr[r]..indptr[r + 1]];
             for w in row.windows(2) {
@@ -305,13 +303,7 @@ impl CsrMatrix {
                 next[j] += 1;
             }
         }
-        CsrMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            indptr: counts,
-            indices,
-            data,
-        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, indptr: counts, indices, data }
     }
 
     /// Converts to CSC storage.
@@ -502,10 +494,7 @@ mod tests {
     fn spmv_dimension_errors() {
         let m = example();
         let mut y = vec![0.0; 2];
-        assert!(matches!(
-            m.spmv(&[1.0], &mut y),
-            Err(SparseError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(m.spmv(&[1.0], &mut y), Err(SparseError::DimensionMismatch { .. })));
         let mut bad_y = vec![0.0; 1];
         assert!(m.spmv(&[1.0, 2.0, 3.0], &mut bad_y).is_err());
     }
@@ -598,22 +587,13 @@ mod tests {
         // indptr wrong length
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // unsorted columns
-        assert!(
-            CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // column out of range
         assert!(CsrMatrix::from_raw_parts(1, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
         // data length mismatch
         assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![0], vec![]).is_err());
         // decreasing indptr
-        assert!(CsrMatrix::from_raw_parts(
-            2,
-            2,
-            vec![0, 2, 1],
-            vec![0, 1],
-            vec![1.0, 2.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrMatrix, SparseError> {
         size_line.ok_or_else(|| SparseError::InvalidStructure("missing size line".into()))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse().map_err(|_| SparseError::InvalidStructure(format!("bad size line: {size_line}"))))
+        .map(|t| {
+            t.parse()
+                .map_err(|_| SparseError::InvalidStructure(format!("bad size line: {size_line}")))
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
         return Err(SparseError::InvalidStructure(format!("bad size line: {size_line}")));
@@ -90,17 +93,18 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrMatrix, SparseError> {
             (Some(i), Some(j), Some(v)) => (i, j, v),
             _ => return Err(SparseError::InvalidStructure(format!("bad entry line: {t}"))),
         };
-        let i: usize = i
-            .parse()
-            .map_err(|_| SparseError::InvalidStructure(format!("bad row index: {t}")))?;
+        let i: usize =
+            i.parse().map_err(|_| SparseError::InvalidStructure(format!("bad row index: {t}")))?;
         let j: usize = j
             .parse()
             .map_err(|_| SparseError::InvalidStructure(format!("bad column index: {t}")))?;
-        let v: f64 = v
-            .parse()
-            .map_err(|_| SparseError::InvalidStructure(format!("bad value: {t}")))?;
+        let v: f64 =
+            v.parse().map_err(|_| SparseError::InvalidStructure(format!("bad value: {t}")))?;
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(SparseError::IndexOutOfBounds { index: i.max(j), bound: nrows.max(ncols) + 1 });
+            return Err(SparseError::IndexOutOfBounds {
+                index: i.max(j),
+                bound: nrows.max(ncols) + 1,
+            });
         }
         coo.push(i - 1, j - 1, v);
         if symmetric && i != j {
@@ -126,11 +130,7 @@ mod tests {
 
     #[test]
     fn roundtrip_general() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            4,
-            vec![(0, 0, 1.5), (0, 3, -2.0), (2, 1, 0.25)],
-        );
+        let m = CsrMatrix::from_triplets(3, 4, vec![(0, 0, 1.5), (0, 3, -2.0), (2, 1, 0.25)]);
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
         let back = read_matrix_market(buf.as_slice()).unwrap();
@@ -154,7 +154,8 @@ mod tests {
     #[test]
     fn rejects_malformed_inputs() {
         assert!(read_matrix_market("".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1\n".as_bytes())
+            .is_err());
         assert!(read_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n".as_bytes()
         )

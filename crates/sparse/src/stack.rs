@@ -14,10 +14,7 @@ use crate::{CooMatrix, CsrMatrix};
 pub fn vstack(mats: &[&CsrMatrix]) -> CsrMatrix {
     assert!(!mats.is_empty(), "vstack of zero matrices");
     let ncols = mats[0].ncols();
-    assert!(
-        mats.iter().all(|m| m.ncols() == ncols),
-        "vstack requires equal column counts"
-    );
+    assert!(mats.iter().all(|m| m.ncols() == ncols), "vstack requires equal column counts");
     let nrows: usize = mats.iter().map(|m| m.nrows()).sum();
     let nnz: usize = mats.iter().map(|m| m.nnz()).sum();
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
@@ -42,10 +39,7 @@ pub fn vstack(mats: &[&CsrMatrix]) -> CsrMatrix {
 pub fn hstack(mats: &[&CsrMatrix]) -> CsrMatrix {
     assert!(!mats.is_empty(), "hstack of zero matrices");
     let nrows = mats[0].nrows();
-    assert!(
-        mats.iter().all(|m| m.nrows() == nrows),
-        "hstack requires equal row counts"
-    );
+    assert!(mats.iter().all(|m| m.nrows() == nrows), "hstack requires equal row counts");
     let ncols: usize = mats.iter().map(|m| m.ncols()).sum();
     let nnz: usize = mats.iter().map(|m| m.nnz()).sum();
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);

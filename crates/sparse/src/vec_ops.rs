@@ -152,12 +152,7 @@ mod tests {
     #[test]
     fn projection_clamps_both_sides() {
         let mut out = vec![0.0; 3];
-        project_box(
-            &[-5.0, 0.5, 5.0],
-            &[0.0, 0.0, 0.0],
-            &[1.0, 1.0, 1.0],
-            &mut out,
-        );
+        project_box(&[-5.0, 0.5, 5.0], &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0], &mut out);
         assert_eq!(out, vec![0.0, 0.5, 1.0]);
     }
 

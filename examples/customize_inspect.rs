@@ -17,7 +17,13 @@ fn main() {
         let r = customize(&qp, c, 4);
 
         println!("================================================================");
-        println!("{} (size knob {size}): n = {}, m = {}, nnz = {}", domain, qp.num_vars(), qp.num_constraints(), qp.total_nnz());
+        println!(
+            "{} (size knob {size}): n = {}, m = {}, nnz = {}",
+            domain,
+            qp.num_vars(),
+            qp.num_constraints(),
+            qp.total_nnz()
+        );
 
         // Figure 2(g): an excerpt of the sparsity string of A.
         let s = SparsityString::encode(qp.a(), c);

@@ -13,12 +13,25 @@ use rsqp::solver::{CgTolerance, Settings, Solver, Status};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let qp = generate(Domain::Huber, 6, 3);
-    println!("problem {}: n = {}, m = {}, nnz = {}", qp.name(), qp.num_vars(), qp.num_constraints(), qp.total_nnz());
+    println!(
+        "problem {}: n = {}, m = {}, nnz = {}",
+        qp.name(),
+        qp.num_vars(),
+        qp.num_constraints(),
+        qp.total_nnz()
+    );
 
     // Customize and report the architecture.
     let custom = customize(&qp, 32, 4);
     let est = ResourceModel.estimate(custom.config.set());
-    println!("\narchitecture {}: {:.0} MHz, {} DSP / {} FF / {} LUT", custom.notation(), est.fmax_mhz, est.dsp, est.ff, est.lut);
+    println!(
+        "\narchitecture {}: {:.0} MHz, {} DSP / {} FF / {} LUT",
+        custom.notation(),
+        est.fmax_mhz,
+        est.dsp,
+        est.ff,
+        est.lut
+    );
     println!("match score η: {:.3} -> {:.3}", custom.eta_baseline, custom.eta_custom);
 
     // Check the HBM stream budget.
@@ -48,8 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(r.status, Status::Solved);
     let stats = handle.expect("backend built").borrow().stats();
 
-    println!("\nsolved in {} ADMM iterations, {} CG iterations", r.iterations, r.backend.cg_iterations);
-    println!("device cycles: {} across {} instructions, {} loop trips", stats.cycles, stats.instructions, stats.loop_trips);
+    println!(
+        "\nsolved in {} ADMM iterations, {} CG iterations",
+        r.iterations, r.backend.cg_iterations
+    );
+    println!(
+        "device cycles: {} across {} instructions, {} loop trips",
+        stats.cycles, stats.instructions, stats.loop_trips
+    );
     let b = stats.breakdown;
     let total = b.total() as f64 / 100.0;
     println!("  spmv        {:>12}  ({:>5.1} %)", b.spmv, b.spmv as f64 / total);

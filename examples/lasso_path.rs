@@ -15,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The generated q has λ on the t-block; recover it.
     let lambda_max = qp.q()[t_off];
-    let mut solver = Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
+    let mut solver =
+        Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
 
     println!("\n    λ/λ₀     nonzeros   |x|₁        iters");
     for step in 0..8 {

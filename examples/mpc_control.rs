@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         control::HORIZON
     );
 
-    let mut solver = Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
+    let mut solver =
+        Solver::new(&qp, Settings { eps_abs: 1e-5, eps_rel: 1e-5, ..Default::default() })?;
 
     // The first nx constraint rows pin x_0 = x_init; simulate a closed loop
     // by updating those bounds with the "measured" state each step.
@@ -42,6 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let norm = state.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         println!("  {step:>3}   {norm:>8.5}    {:>5}", r.iterations);
     }
-    println!("\nstate regulated toward origin; {total_iters} total ADMM iterations across 10 steps");
+    println!(
+        "\nstate regulated toward origin; {total_iters} total ADMM iterations across 10 steps"
+    );
     Ok(())
 }

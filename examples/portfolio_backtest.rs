@@ -63,20 +63,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = solver.solve()?;
         assert_eq!(r.status, Status::Solved);
         let after = handle.borrow().stats();
-        let delta = rsqp::arch::RunStats {
-            cycles: after.cycles - before.cycles,
-            ..Default::default()
-        };
+        let delta =
+            rsqp::arch::RunStats { cycles: after.cycles - before.cycles, ..Default::default() };
         let t = model.solve_time(delta, r.iterations, outer, qp.num_vars(), qp.num_constraints());
         total_time += t.as_secs_f64();
-        let best = r
-            .x
-            .iter()
-            .take(100 * factors)
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let best =
+            r.x.iter()
+                .take(100 * factors)
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
         println!(
             "  {day:>3}   {}    {:>5}    {:>9.1}    #{best}",
             r.status,

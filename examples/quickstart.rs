@@ -28,23 +28,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let u = vec![1.0, 0.6, 0.6, 0.6];
     let qp = QpProblem::new(p, q, a, l, u)?.with_name("quickstart");
 
-    println!("problem: n = {}, m = {}, nnz(P)+nnz(A) = {}", qp.num_vars(), qp.num_constraints(), qp.total_nnz());
+    println!(
+        "problem: n = {}, m = {}, nnz(P)+nnz(A) = {}",
+        qp.num_vars(),
+        qp.num_constraints(),
+        qp.total_nnz()
+    );
 
     // 1. Direct LDLT (OSQP CPU default).
-    let mut direct = Solver::new(&qp, Settings { linsys: LinSysKind::DirectLdlt, ..Default::default() })?;
+    let mut direct =
+        Solver::new(&qp, Settings { linsys: LinSysKind::DirectLdlt, ..Default::default() })?;
     let rd = direct.solve()?;
-    println!("\n[ldlt]     {} in {} iters, objective {:.6}", rd.status, rd.iterations, rd.objective);
-    println!("           x = {:?}", rd.x.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "\n[ldlt]     {} in {} iters, objective {:.6}",
+        rd.status, rd.iterations, rd.objective
+    );
+    println!(
+        "           x = {:?}",
+        rd.x.iter().map(|v| (v * 1e4).round() / 1e4).collect::<Vec<_>>()
+    );
 
     // 2. CPU PCG (the algorithm cuOSQP/RSQP run).
     let mut pcg = Solver::new(&qp, Settings { linsys: LinSysKind::CpuPcg, ..Default::default() })?;
     let rp = pcg.solve()?;
-    println!("[cpu-pcg]  {} in {} iters, {} total CG iterations", rp.status, rp.iterations, rp.backend.cg_iterations);
+    println!(
+        "[cpu-pcg]  {} in {} iters, {} total CG iterations",
+        rp.status, rp.iterations, rp.backend.cg_iterations
+    );
 
     // 3. Simulated FPGA with a problem-customized architecture.
     let custom = customize(&qp, 16, 4);
-    println!("\n[customize] structure set {}  (baseline η = {:.3} → customized η = {:.3})",
-        custom.notation(), custom.eta_baseline, custom.eta_custom);
+    println!(
+        "\n[customize] structure set {}  (baseline η = {:.3} → customized η = {:.3})",
+        custom.notation(),
+        custom.eta_baseline,
+        custom.eta_custom
+    );
     let cfg = custom.config.clone();
     let mut handle = None;
     let mut outer = 0;
@@ -62,8 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = handle.expect("backend was built").borrow().stats();
     let model = FpgaPerfModel::from_config(&custom.config);
     let t = model.solve_time(stats, rf.iterations, outer, qp.num_vars(), qp.num_constraints());
-    println!("[fpga-sim] {} in {} iters, {} device cycles -> {:.1} µs at {:.0} MHz",
-        rf.status, rf.iterations, stats.cycles, t.as_secs_f64() * 1e6, model.fmax_hz / 1e6);
+    println!(
+        "[fpga-sim] {} in {} iters, {} device cycles -> {:.1} µs at {:.0} MHz",
+        rf.status,
+        rf.iterations,
+        stats.cycles,
+        t.as_secs_f64() * 1e6,
+        model.fmax_hz / 1e6
+    );
     println!("           objective {:.6} (vs ldlt {:.6})", rf.objective, rd.objective);
     Ok(())
 }

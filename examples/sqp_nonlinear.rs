@@ -22,9 +22,7 @@ use rsqp::sparse::{CooMatrix, CsrMatrix};
 
 fn rosenbrock(x: &[f64]) -> f64 {
     let n = x.len();
-    (0..n - 1)
-        .map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2))
-        .sum()
+    (0..n - 1).map(|i| 100.0 * (x[i + 1] - x[i] * x[i]).powi(2) + (1.0 - x[i]).powi(2)).sum()
 }
 
 fn gradient(x: &[f64]) -> Vec<f64> {
@@ -102,7 +100,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut solver = Solver::new(
         &qp,
-        Settings { eps_abs: 1e-7, eps_rel: 1e-7, max_iter: 20_000, polish: true, ..Default::default() },
+        Settings {
+            eps_abs: 1e-7,
+            eps_rel: 1e-7,
+            max_iter: 20_000,
+            polish: true,
+            ..Default::default()
+        },
     )?;
 
     println!(" iter     f(x)        |step|      QP iters");
@@ -141,7 +145,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         f_prev = f;
     }
     let sum: f64 = x.iter().sum();
-    println!("\nfinal objective {:.8}, budget constraint: sum = {sum:.6} (target {budget})", rosenbrock(&x));
+    println!(
+        "\nfinal objective {:.8}, budget constraint: sum = {sum:.6} (target {budget})",
+        rosenbrock(&x)
+    );
     assert!((sum - budget).abs() < 1e-5, "budget must hold");
     Ok(())
 }

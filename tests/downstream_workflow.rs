@@ -28,11 +28,12 @@ fn save_load_customize_bundle_solve() {
     assert!(bundle::validate_rom(dir.join("hw/pcg.rom")).expect("rom") > 20);
 
     // 3. Solve on all three backends and compare objectives.
-    let settings = Settings { eps_abs: 1e-5, eps_rel: 1e-5, max_iter: 20_000, ..Default::default() };
+    let settings =
+        Settings { eps_abs: 1e-5, eps_rel: 1e-5, max_iter: 20_000, ..Default::default() };
     let mut objectives = Vec::new();
     for kind in [LinSysKind::DirectLdlt, LinSysKind::CpuPcg] {
-        let mut s = Solver::new(&loaded, Settings { linsys: kind, ..settings.clone() })
-            .expect("setup");
+        let mut s =
+            Solver::new(&loaded, Settings { linsys: kind, ..settings.clone() }).expect("setup");
         let r = s.solve().expect("solve");
         assert_eq!(r.status, Status::Solved, "{kind:?}");
         objectives.push(r.objective);
@@ -53,10 +54,7 @@ fn save_load_customize_bundle_solve() {
 
     let scale = 1.0 + objectives[0].abs();
     for w in objectives.windows(2) {
-        assert!(
-            (w[0] - w[1]).abs() < 5e-3 * scale,
-            "backend objectives disagree: {objectives:?}"
-        );
+        assert!((w[0] - w[1]).abs() < 5e-3 * scale, "backend objectives disagree: {objectives:?}");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -60,17 +60,18 @@ fn fpga_solve_and_performance_model_chain() {
 
     let mut handle = None;
     let mut outer = 0u64;
-    let mut solver = Solver::with_backend(&qp, settings(LinSysKind::CpuPcg), &mut |p, a, sigma, rho, s| {
-        let eps = match s.cg_tolerance {
-            CgTolerance::Fixed(e) => e,
-            CgTolerance::Adaptive { start, .. } => start,
-        };
-        let (b, h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
-        outer = b.outer_cycles_per_iteration();
-        handle = Some(h);
-        Ok(Box::new(b))
-    })
-    .unwrap();
+    let mut solver =
+        Solver::with_backend(&qp, settings(LinSysKind::CpuPcg), &mut |p, a, sigma, rho, s| {
+            let eps = match s.cg_tolerance {
+                CgTolerance::Fixed(e) => e,
+                CgTolerance::Adaptive { start, .. } => start,
+            };
+            let (b, h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
+            outer = b.outer_cycles_per_iteration();
+            handle = Some(h);
+            Ok(Box::new(b))
+        })
+        .unwrap();
     let r = solver.solve().unwrap();
     assert_eq!(r.status, Status::Solved);
 
@@ -111,15 +112,16 @@ fn architecture_reuse_across_instances_of_one_structure() {
     let custom = customize(&qp1, 16, 4);
     // The architecture built for qp1 must solve qp2.
     let cfg = custom.config.clone();
-    let mut solver = Solver::with_backend(&qp2, settings(LinSysKind::CpuPcg), &mut |p, a, sigma, rho, s| {
-        let eps = match s.cg_tolerance {
-            CgTolerance::Fixed(e) => e,
-            CgTolerance::Adaptive { start, .. } => start,
-        };
-        let (b, _h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
-        Ok(Box::new(b))
-    })
-    .unwrap();
+    let mut solver =
+        Solver::with_backend(&qp2, settings(LinSysKind::CpuPcg), &mut |p, a, sigma, rho, s| {
+            let eps = match s.cg_tolerance {
+                CgTolerance::Fixed(e) => e,
+                CgTolerance::Adaptive { start, .. } => start,
+            };
+            let (b, _h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), eps, s.cg_max_iter);
+            Ok(Box::new(b))
+        })
+        .unwrap();
     assert_eq!(solver.solve().unwrap().status, Status::Solved);
 }
 
@@ -132,7 +134,8 @@ fn wider_datapath_reduces_device_cycles() {
         let mut handle = None;
         let mut solver =
             Solver::with_backend(&qp, settings(LinSysKind::CpuPcg), &mut |p, a, sigma, rho, s| {
-                let (b, h) = FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), 1e-6, s.cg_max_iter);
+                let (b, h) =
+                    FpgaPcgBackend::new(p, a, sigma, rho, cfg.clone(), 1e-6, s.cg_max_iter);
                 handle = Some(h);
                 Ok(Box::new(b))
             })

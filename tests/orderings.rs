@@ -11,9 +11,7 @@ fn kkt_fill(domain: Domain, size: usize, ordering: KktOrdering) -> usize {
     let mat = match ordering {
         KktOrdering::Natural => kkt.matrix().clone(),
         KktOrdering::Rcm => {
-            SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix()))
-                .matrix()
-                .clone()
+            SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix())).matrix().clone()
         }
         KktOrdering::MinDegree => {
             SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()))
@@ -29,10 +27,7 @@ fn min_degree_reduces_fill_on_benchmark_kkt() {
     for (domain, size) in [(Domain::Control, 6), (Domain::Lasso, 8), (Domain::Svm, 8)] {
         let natural = kkt_fill(domain, size, KktOrdering::Natural);
         let md = kkt_fill(domain, size, KktOrdering::MinDegree);
-        assert!(
-            md <= natural,
-            "{domain}: min-degree fill {md} vs natural {natural}"
-        );
+        assert!(md <= natural, "{domain}: min-degree fill {md} vs natural {natural}");
     }
 }
 
