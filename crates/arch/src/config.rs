@@ -108,6 +108,21 @@ impl FaultConfig {
         self.mac_output_flip_prob = prob;
         self
     }
+
+    /// Derives an independent fault stream for sub-stream `stream`, keeping
+    /// the strike probabilities. Used to give each job of a concurrent
+    /// chaos run its own decorrelated (but still reproducible) fault
+    /// pattern from one master seed: `derive` is injective in `stream` and
+    /// mixes it through SplitMix64's finalizer, so neighbouring stream
+    /// indices do not produce correlated bit-flip sequences.
+    pub fn derive(&self, stream: u64) -> Self {
+        // SplitMix64 finalizer over (seed ⊕ golden-ratio·stream).
+        let mut z = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultConfig { seed: z, ..*self }
+    }
 }
 
 /// A concrete architecture instance: datapath width `C`, the customized MAC
@@ -249,6 +264,18 @@ mod tests {
         assert_eq!(c64.vector_cycles(1600), lat + 25);
         assert_eq!(c16.vector_cycles(0), lat);
         assert_eq!(c16.vector_cycles(1), lat + 1);
+    }
+
+    #[test]
+    fn derived_fault_streams_are_deterministic_and_distinct() {
+        let base = FaultConfig::new(7).with_hbm_read_flips(0.5).with_mac_output_flips(0.25);
+        let a = base.derive(0);
+        let b = base.derive(1);
+        assert_eq!(a, base.derive(0), "derivation is deterministic");
+        assert_ne!(a.seed, b.seed, "streams decorrelate");
+        assert_ne!(a.seed, base.seed, "stream 0 is mixed too");
+        assert_eq!(a.hbm_read_flip_prob, 0.5);
+        assert_eq!(b.mac_output_flip_prob, 0.25);
     }
 
     #[test]

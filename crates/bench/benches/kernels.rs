@@ -51,7 +51,7 @@ fn bench_pcg(c: &mut Criterion) {
         let x0 = vec![0.0; qp.num_vars()];
         group.bench_function(BenchmarkId::new("reduced_kkt", qp.total_nnz()), |b| {
             b.iter(|| {
-                let mut op = ReducedKktOp::new(qp.p(), qp.a(), &at, 1e-6, &rho);
+                let mut op = ReducedKktOp::new(qp.p(), qp.a(), &at, 1e-6, &rho).unwrap();
                 pcg(&mut op, &rhs, &x0, &PcgSettings { eps: 1e-8, ..Default::default() }).unwrap()
             });
         });
@@ -106,7 +106,7 @@ fn bench_orderings(c: &mut Criterion) {
     let kkt = KktMatrix::assemble(qp.p(), qp.a(), 1e-6, &rho).unwrap();
     group.bench_function("min_degree", |b| b.iter(|| min_degree_ordering(kkt.matrix())));
     group.bench_function("rcm", |b| b.iter(|| rcm_ordering(kkt.matrix())));
-    let perm = min_degree_ordering(kkt.matrix());
+    let perm = min_degree_ordering(kkt.matrix()).unwrap();
     group.bench_function("apply_permutation", |b| {
         b.iter(|| SymmetricPermutation::new(kkt.matrix(), perm.clone()))
     });

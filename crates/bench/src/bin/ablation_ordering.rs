@@ -29,11 +29,14 @@ fn main() {
 
         let natural = Ldlt::factor(kkt.matrix()).expect("quasi-definite").l_nnz();
         let rcm = {
-            let sp = SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix()));
+            let sp = SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix()).unwrap())
+                .unwrap();
             Ldlt::factor(sp.matrix()).expect("quasi-definite").l_nnz()
         };
         let (mindeg, ms) = {
-            let sp = SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()));
+            let sp =
+                SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()).unwrap())
+                    .unwrap();
             let t0 = Instant::now();
             let f = Ldlt::factor(sp.matrix()).expect("quasi-definite");
             (f.l_nnz(), t0.elapsed().as_secs_f64() * 1e3)

@@ -16,6 +16,9 @@ pub enum LinsysError {
     ZeroPivot(usize),
     /// Operand dimensions disagree.
     Dimension(String),
+    /// A fill-reducing ordering or permutation vector is not a valid
+    /// permutation of `0..n`.
+    InvalidPermutation(String),
     /// An underlying sparse-matrix operation failed.
     Sparse(SparseError),
 }
@@ -31,6 +34,7 @@ impl fmt::Display for LinsysError {
             }
             LinsysError::ZeroPivot(j) => write!(f, "zero pivot in column {j}"),
             LinsysError::Dimension(msg) => write!(f, "dimension error: {msg}"),
+            LinsysError::InvalidPermutation(msg) => write!(f, "invalid permutation: {msg}"),
             LinsysError::Sparse(e) => write!(f, "sparse kernel error: {e}"),
         }
     }

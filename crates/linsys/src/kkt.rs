@@ -156,34 +156,59 @@ impl<'a> ReducedKktOp<'a> {
     /// separate because both the GPU implementation and the FPGA store `A`
     /// and `Aᵀ` explicitly for row-major streaming).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if shapes are inconsistent.
+    /// Returns [`LinsysError::Dimension`] if the shapes are inconsistent.
     pub fn new(
         p: &'a CsrMatrix,
         a: &'a CsrMatrix,
         at: &'a CsrMatrix,
         sigma: f64,
         rho: &[f64],
-    ) -> Self {
+    ) -> Result<Self, LinsysError> {
         let n = p.nrows();
         let m = a.nrows();
-        assert_eq!(p.ncols(), n, "P must be square");
-        assert_eq!(a.ncols(), n, "A column count mismatch");
-        assert_eq!((at.nrows(), at.ncols()), (n, m), "At must be transpose of A");
-        assert_eq!(rho.len(), m, "rho length mismatch");
-        ReducedKktOp { p, a, at, sigma, rho: rho.to_vec(), tmp_m: vec![0.0; m], spmv_count: 0 }
+        if p.ncols() != n {
+            return Err(LinsysError::Dimension(format!("P must be square, got {n}x{}", p.ncols())));
+        }
+        if a.ncols() != n {
+            return Err(LinsysError::Dimension(format!(
+                "A has {} columns but P is {n}x{n}",
+                a.ncols()
+            )));
+        }
+        if (at.nrows(), at.ncols()) != (n, m) {
+            return Err(LinsysError::Dimension(format!(
+                "At is {}x{} but must be the {n}x{m} transpose of A",
+                at.nrows(),
+                at.ncols()
+            )));
+        }
+        if rho.len() != m {
+            return Err(LinsysError::Dimension(format!(
+                "rho has length {} but A has {m} rows",
+                rho.len()
+            )));
+        }
+        Ok(ReducedKktOp { p, a, at, sigma, rho: rho.to_vec(), tmp_m: vec![0.0; m], spmv_count: 0 })
     }
 
     /// Replaces the ρ vector (no structural work needed — this is the big
     /// advantage of the indirect method highlighted in §2.2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the length changes.
-    pub fn update_rho(&mut self, rho: &[f64]) {
-        assert_eq!(rho.len(), self.rho.len(), "rho length mismatch");
+    /// Returns [`LinsysError::Dimension`] if the length changes.
+    pub fn update_rho(&mut self, rho: &[f64]) -> Result<(), LinsysError> {
+        if rho.len() != self.rho.len() {
+            return Err(LinsysError::Dimension(format!(
+                "rho length changed from {} to {}",
+                self.rho.len(),
+                rho.len()
+            )));
+        }
         self.rho.copy_from_slice(rho);
+        Ok(())
     }
 
     /// The Jacobi preconditioner diagonal
@@ -294,7 +319,7 @@ mod tests {
         // reduced system (P + sigma I + rho AᵀA) x = b1.
         let b1 = [1.0, -2.0];
         let mut rhs = vec![b1[0], b1[1], 0.0, 0.0, 0.0];
-        ldlt.solve_in_place(&mut rhs);
+        ldlt.solve_in_place(&mut rhs).unwrap();
         // Dense reduced solve.
         let k = [[4.0 + sigma + 0.5 * 2.0, 1.0 + 0.5], [1.0 + 0.5, 2.0 + sigma + 0.5 * 2.0]];
         let det = k[0][0] * k[1][1] - k[0][1] * k[1][0];
@@ -310,7 +335,7 @@ mod tests {
         let at = a.transpose();
         let rho = vec![0.1, 0.2, 0.4];
         let sigma = 0.01;
-        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho);
+        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
         let x = [1.0, 2.0];
         let mut y = vec![0.0; 2];
         op.apply(&x, &mut y).unwrap();
@@ -330,7 +355,7 @@ mod tests {
         let at = a.transpose();
         let rho = vec![0.1, 0.2, 0.4];
         let sigma = 0.01;
-        let op = ReducedKktOp::new(&p, &a, &at, sigma, &rho);
+        let op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
         let d = op.jacobi_diag();
         assert!((d[0] - (4.0 + sigma + 0.1 + 0.4)).abs() < 1e-12);
         assert!((d[1] - (2.0 + sigma + 0.2 + 0.4)).abs() < 1e-12);
@@ -340,10 +365,10 @@ mod tests {
     fn update_rho_changes_operator() {
         let (p, a) = small_problem();
         let at = a.transpose();
-        let mut op = ReducedKktOp::new(&p, &a, &at, 0.0, &[1.0, 1.0, 1.0]);
+        let mut op = ReducedKktOp::new(&p, &a, &at, 0.0, &[1.0, 1.0, 1.0]).unwrap();
         let mut y1 = vec![0.0; 2];
         op.apply(&[1.0, 0.0], &mut y1).unwrap();
-        op.update_rho(&[2.0, 2.0, 2.0]);
+        op.update_rho(&[2.0, 2.0, 2.0]).unwrap();
         let mut y2 = vec![0.0; 2];
         op.apply(&[1.0, 0.0], &mut y2).unwrap();
         // Doubling rho doubles the AᵀA part: y2 - Px = 2 (y1 - Px).

@@ -199,11 +199,17 @@ impl Ldlt {
 
     /// Solves `A x = b` in place (`b` becomes `x`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `b.len() != dim()`.
-    pub fn solve_in_place(&self, b: &mut [f64]) {
-        assert_eq!(b.len(), self.n, "solve dimension mismatch");
+    /// Returns [`LinsysError::Dimension`] if `b.len() != dim()`.
+    pub fn solve_in_place(&self, b: &mut [f64]) -> Result<(), LinsysError> {
+        if b.len() != self.n {
+            return Err(LinsysError::Dimension(format!(
+                "solve rhs length {} does not match factorization dimension {}",
+                b.len(),
+                self.n
+            )));
+        }
         // x = L^{-1} b   (L is unit lower triangular, stored by columns)
         for j in 0..self.n {
             let bj = b[j];
@@ -223,13 +229,18 @@ impl Ldlt {
             }
             b[j] = bj;
         }
+        Ok(())
     }
 
     /// Convenience wrapper returning a fresh solution vector.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::Dimension`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinsysError> {
         let mut x = b.to_vec();
-        self.solve_in_place(&mut x);
-        x
+        self.solve_in_place(&mut x)?;
+        Ok(x)
     }
 
     /// Solves with `sweeps` rounds of iterative refinement against the
@@ -238,22 +249,35 @@ impl Ldlt {
     /// product and corrects `x += A⁻¹·r`. Cuts the residual of
     /// ill-conditioned quasi-definite KKT solves by several digits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if dimensions disagree with the factorization.
-    pub fn solve_refined(&self, a: &CscMatrix, b: &[f64], sweeps: usize) -> Vec<f64> {
-        assert_eq!(a.ncols(), self.n, "matrix dimension mismatch");
-        let mut x = self.solve(b);
+    /// Returns [`LinsysError::Dimension`] if the dimensions of `a` or `b`
+    /// disagree with the factorization.
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        sweeps: usize,
+    ) -> Result<Vec<f64>, LinsysError> {
+        if a.ncols() != self.n || a.nrows() != self.n {
+            return Err(LinsysError::Dimension(format!(
+                "refinement matrix {}x{} does not match factorization dimension {}",
+                a.nrows(),
+                a.ncols(),
+                self.n
+            )));
+        }
+        let mut x = self.solve(b)?;
         let mut ax = vec![0.0; self.n];
         for _ in 0..sweeps {
-            a.symm_spmv_upper(&x, &mut ax).expect("square by assertion");
+            a.symm_spmv_upper(&x, &mut ax)?;
             let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-            self.solve_in_place(&mut r);
+            self.solve_in_place(&mut r)?;
             for (xi, ri) in x.iter_mut().zip(&r) {
                 *xi += ri;
             }
         }
-        x
+        Ok(x)
     }
 }
 
@@ -299,7 +323,7 @@ mod tests {
         let a = upper(&[vec![4.0, 1.0], vec![1.0, 2.0]]);
         let f = Ldlt::factor(&a).unwrap();
         assert_eq!(f.num_positive_d(), 2);
-        let x = f.solve(&[1.0, 1.0]);
+        let x = f.solve(&[1.0, 1.0]).unwrap();
         // Verify A x = b with the full matrix.
         let full = CsrMatrix::from_dense(&[vec![4.0, 1.0], vec![1.0, 2.0]]);
         let mut b = vec![0.0; 2];
@@ -314,7 +338,7 @@ mod tests {
         let dense = vec![vec![2.0, 0.0, 1.0], vec![0.0, 2.0, 1.0], vec![1.0, 1.0, -1.0]];
         let f = Ldlt::factor(&upper(&dense)).unwrap();
         assert_eq!(f.num_positive_d(), 2);
-        let x = f.solve(&[1.0, 2.0, 3.0]);
+        let x = f.solve(&[1.0, 2.0, 3.0]).unwrap();
         let full = CsrMatrix::from_dense(&dense);
         let mut b = vec![0.0; 3];
         full.spmv(&x, &mut b).unwrap();
@@ -357,7 +381,7 @@ mod tests {
         // Same structure, new values.
         let d2 = vec![vec![8.0, 2.0, 0.0], vec![2.0, 6.0, 2.0], vec![0.0, 2.0, 10.0]];
         f.refactor(&upper(&d2)).unwrap();
-        let x = f.solve(&[1.0, 0.0, 0.0]);
+        let x = f.solve(&[1.0, 0.0, 0.0]).unwrap();
         let full = CsrMatrix::from_dense(&d2);
         let mut b = vec![0.0; 3];
         full.spmv(&x, &mut b).unwrap();
@@ -391,7 +415,7 @@ mod tests {
         }
         let f = Ldlt::factor(&upper(&dense)).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
-        let x = f.solve(&b);
+        let x = f.solve(&b).unwrap();
         let full = CsrMatrix::from_dense(&dense);
         let mut ax = vec![0.0; n];
         full.spmv(&x, &mut ax).unwrap();
@@ -438,8 +462,8 @@ mod refine_tests {
         let upper = CsrMatrix::from_dense(&dense).upper_triangle().to_csc();
         let f = Ldlt::factor(&upper).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) * 0.3).collect();
-        let plain = f.solve(&b);
-        let refined = f.solve_refined(&upper, &b, 3);
+        let plain = f.solve(&b).unwrap();
+        let refined = f.solve_refined(&upper, &b, 3).unwrap();
         let res = |x: &[f64]| {
             let mut ax = vec![0.0; n];
             upper.symm_spmv_upper(x, &mut ax).unwrap();
@@ -454,8 +478,8 @@ mod refine_tests {
         let upper =
             CsrMatrix::from_dense(&[vec![4.0, 1.0], vec![1.0, 3.0]]).upper_triangle().to_csc();
         let f = Ldlt::factor(&upper).unwrap();
-        let refined = f.solve_refined(&upper, &[1.0, 2.0], 2);
-        let plain = f.solve(&[1.0, 2.0]);
+        let refined = f.solve_refined(&upper, &[1.0, 2.0], 2).unwrap();
+        let plain = f.solve(&[1.0, 2.0]).unwrap();
         for (a, b) in refined.iter().zip(&plain) {
             assert!((a - b).abs() < 1e-12);
         }

@@ -31,10 +31,10 @@
 //! let kkt = KktMatrix::assemble(&p, &a, 1e-6, &rho)?;
 //! let mut ldlt = Ldlt::factor(kkt.matrix())?;
 //! let mut rhs = vec![1.0, 1.0, 0.0];
-//! ldlt.solve_in_place(&mut rhs);
+//! ldlt.solve_in_place(&mut rhs)?;
 //!
 //! let at = a.transpose();
-//! let mut op = ReducedKktOp::new(&p, &a, &at, 1e-6, &rho);
+//! let mut op = ReducedKktOp::new(&p, &a, &at, 1e-6, &rho)?;
 //! let b = vec![1.0, 1.0];
 //! let sol = pcg(&mut op, &b, &vec![0.0; 2], &PcgSettings::default())?;
 //! assert!((sol.x[0] - rhs[0]).abs() < 1e-6);

@@ -9,6 +9,8 @@
 
 use rsqp_sparse::CscMatrix;
 
+use crate::LinsysError;
+
 /// Computes a Reverse-Cuthill-McKee ordering of the symmetric matrix whose
 /// upper triangle is `upper`.
 ///
@@ -16,12 +18,18 @@ use rsqp_sparse::CscMatrix;
 /// `perm[i]`. Disconnected components are each seeded from their
 /// minimum-degree vertex.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `upper` is not square.
-pub fn rcm_ordering(upper: &CscMatrix) -> Vec<usize> {
+/// Returns [`LinsysError::Dimension`] if `upper` is not square.
+pub fn rcm_ordering(upper: &CscMatrix) -> Result<Vec<usize>, LinsysError> {
     let n = upper.ncols();
-    assert_eq!(upper.nrows(), n, "rcm_ordering requires a square matrix");
+    if upper.nrows() != n {
+        return Err(LinsysError::Dimension(format!(
+            "rcm_ordering requires a square matrix, got {}x{}",
+            upper.nrows(),
+            n
+        )));
+    }
     // Build a full (symmetric) adjacency list from the upper triangle.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for j in 0..n {
@@ -63,22 +71,27 @@ pub fn rcm_ordering(upper: &CscMatrix) -> Vec<usize> {
         }
     }
     order.reverse();
-    order
+    Ok(order)
 }
 
 /// Inverts a permutation: `inv[perm[i]] == i`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `perm` is not a permutation of `0..perm.len()`.
-pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+/// Returns [`LinsysError::InvalidPermutation`] if `perm` is not a
+/// permutation of `0..perm.len()`.
+pub fn inverse_permutation(perm: &[usize]) -> Result<Vec<usize>, LinsysError> {
     let n = perm.len();
     let mut inv = vec![usize::MAX; n];
     for (i, &p) in perm.iter().enumerate() {
-        assert!(p < n && inv[p] == usize::MAX, "not a permutation");
+        if p >= n || inv[p] != usize::MAX {
+            return Err(LinsysError::InvalidPermutation(format!(
+                "index {p} at position {i} is out of range or repeated"
+            )));
+        }
         inv[p] = i;
     }
-    inv
+    Ok(inv)
 }
 
 #[cfg(test)]
@@ -103,7 +116,7 @@ mod tests {
             dense[a][b] = 1.0;
             dense[b][a] = 1.0;
         }
-        let perm = rcm_ordering(&upper_of(&dense));
+        let perm = rcm_ordering(&upper_of(&dense)).unwrap();
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..n).collect::<Vec<_>>());
@@ -124,8 +137,8 @@ mod tests {
             dense[a][b] = 1.0;
             dense[b][a] = 1.0;
         }
-        let perm = rcm_ordering(&upper_of(&dense));
-        let inv = inverse_permutation(&perm);
+        let perm = rcm_ordering(&upper_of(&dense)).unwrap();
+        let inv = inverse_permutation(&perm).unwrap();
         let mut bandwidth = 0usize;
         for i in 0..n - 1 {
             let (a, b) = (label(i), label(i + 1));
@@ -143,7 +156,7 @@ mod tests {
         }
         dense[0][1] = 1.0;
         dense[1][0] = 1.0;
-        let perm = rcm_ordering(&upper_of(&dense));
+        let perm = rcm_ordering(&upper_of(&dense)).unwrap();
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2, 3]);
@@ -152,16 +165,15 @@ mod tests {
     #[test]
     fn inverse_permutation_roundtrip() {
         let perm = vec![2, 0, 3, 1];
-        let inv = inverse_permutation(&perm);
+        let inv = inverse_permutation(&perm).unwrap();
         for i in 0..perm.len() {
             assert_eq!(inv[perm[i]], i);
         }
     }
 
     #[test]
-    #[should_panic(expected = "not a permutation")]
-    fn inverse_of_non_permutation_panics() {
-        inverse_permutation(&[0, 0]);
+    fn inverse_of_non_permutation_is_an_error() {
+        assert!(matches!(inverse_permutation(&[0, 0]), Err(LinsysError::InvalidPermutation(_))));
     }
 }
 
@@ -177,14 +189,20 @@ mod tests {
 /// Returns `perm` such that new index `i` corresponds to old index
 /// `perm[i]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `upper` is not square.
-pub fn min_degree_ordering(upper: &CscMatrix) -> Vec<usize> {
+/// Returns [`LinsysError::Dimension`] if `upper` is not square.
+pub fn min_degree_ordering(upper: &CscMatrix) -> Result<Vec<usize>, LinsysError> {
     use std::collections::BTreeSet;
 
     let n = upper.ncols();
-    assert_eq!(upper.nrows(), n, "min_degree_ordering requires a square matrix");
+    if upper.nrows() != n {
+        return Err(LinsysError::Dimension(format!(
+            "min_degree_ordering requires a square matrix, got {}x{}",
+            upper.nrows(),
+            n
+        )));
+    }
     let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
     for j in 0..n {
         let (rows, _) = upper.col(j);
@@ -251,7 +269,7 @@ pub fn min_degree_ordering(upper: &CscMatrix) -> Vec<usize> {
     }
     deferred.sort_unstable();
     order.extend(deferred);
-    order
+    Ok(order)
 }
 
 fn dense_threshold(n: usize) -> usize {
@@ -276,13 +294,27 @@ impl SymmetricPermutation {
     /// Builds `Pᵀ·M·P` (upper triangle) for the symmetric matrix whose
     /// upper triangle is `upper`, where new index `i` = old `perm[i]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `upper` is not square or `perm` is not a permutation.
-    pub fn new(upper: &CscMatrix, perm: Vec<usize>) -> Self {
+    /// Returns [`LinsysError::Dimension`] if `upper` is not square or its
+    /// size differs from `perm.len()`, and
+    /// [`LinsysError::InvalidPermutation`] if `perm` is not a permutation.
+    pub fn new(upper: &CscMatrix, perm: Vec<usize>) -> Result<Self, LinsysError> {
         let n = upper.ncols();
-        assert_eq!(upper.nrows(), n, "symmetric permutation requires square input");
-        let iperm = inverse_permutation(&perm);
+        if upper.nrows() != n {
+            return Err(LinsysError::Dimension(format!(
+                "symmetric permutation requires square input, got {}x{}",
+                upper.nrows(),
+                n
+            )));
+        }
+        if perm.len() != n {
+            return Err(LinsysError::Dimension(format!(
+                "permutation length {} does not match matrix dimension {n}",
+                perm.len()
+            )));
+        }
+        let iperm = inverse_permutation(&perm)?;
         // Gather permuted triplets (upper) with their source data index.
         let mut entries: Vec<(usize, usize, usize)> = Vec::with_capacity(upper.nnz());
         let mut data_idx = 0usize;
@@ -310,9 +342,8 @@ impl SymmetricPermutation {
             colptr[j + 1] += colptr[j];
         }
         let data: Vec<f64> = src.iter().map(|&d| upper.data()[d]).collect();
-        let mat = CscMatrix::from_raw_parts(n, n, colptr, rowidx, data)
-            .expect("permutation of a valid matrix is valid");
-        SymmetricPermutation { perm, iperm, mat, src }
+        let mat = CscMatrix::from_raw_parts(n, n, colptr, rowidx, data)?;
+        Ok(SymmetricPermutation { perm, iperm, mat, src })
     }
 
     /// The permuted upper-triangular matrix.
@@ -328,15 +359,23 @@ impl SymmetricPermutation {
     /// Copies fresh numeric values from the (structurally identical)
     /// original matrix into the permuted one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `upper` has a different nnz count than the original.
-    pub fn refresh_values(&mut self, upper: &CscMatrix) {
-        assert_eq!(upper.nnz(), self.src.len(), "structure changed");
+    /// Returns [`LinsysError::Dimension`] if `upper` has a different nnz
+    /// count than the original (the structure changed).
+    pub fn refresh_values(&mut self, upper: &CscMatrix) -> Result<(), LinsysError> {
+        if upper.nnz() != self.src.len() {
+            return Err(LinsysError::Dimension(format!(
+                "refresh_values structure changed: {} nnz vs original {}",
+                upper.nnz(),
+                self.src.len()
+            )));
+        }
         let data = self.mat.data_mut();
         for (k, &d) in self.src.iter().enumerate() {
             data[k] = upper.data()[d];
         }
+        Ok(())
     }
 
     /// Permutes a vector into the reordered space (`out[i] = v[perm[i]]`).
@@ -398,7 +437,7 @@ mod md_tests {
 
     fn fill_of(upper: &CscMatrix, perm: Option<Vec<usize>>) -> usize {
         let mat = match perm {
-            Some(p) => SymmetricPermutation::new(upper, p).matrix().clone(),
+            Some(p) => SymmetricPermutation::new(upper, p).unwrap().matrix().clone(),
             None => upper.clone(),
         };
         crate::Ldlt::factor(&mat).expect("SPD input factors").l_nnz()
@@ -407,7 +446,7 @@ mod md_tests {
     #[test]
     fn min_degree_is_a_permutation() {
         let u = upper_of(&bad_arrow(12));
-        let perm = min_degree_ordering(&u);
+        let perm = min_degree_ordering(&u).unwrap();
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..12).collect::<Vec<_>>());
@@ -418,7 +457,7 @@ mod md_tests {
         let n = 24;
         let u = upper_of(&bad_arrow(n));
         let natural = fill_of(&u, None);
-        let md = fill_of(&u, Some(min_degree_ordering(&u)));
+        let md = fill_of(&u, Some(min_degree_ordering(&u).unwrap()));
         // Natural: eliminating the hub first fills the whole matrix.
         assert_eq!(natural, (n * (n - 1)) / 2);
         // MD: hub eliminated last -> only the arrow edges remain.
@@ -444,7 +483,7 @@ mod md_tests {
         }
         let u = upper_of(&dense);
         let natural = fill_of(&u, None);
-        let md = fill_of(&u, Some(min_degree_ordering(&u)));
+        let md = fill_of(&u, Some(min_degree_ordering(&u).unwrap()));
         assert!(md <= natural, "md {md} vs natural {natural}");
     }
 
@@ -460,12 +499,12 @@ mod md_tests {
             }
         }
         let u = upper_of(&dense);
-        let perm = min_degree_ordering(&u);
-        let sp = SymmetricPermutation::new(&u, perm);
+        let perm = min_degree_ordering(&u).unwrap();
+        let sp = SymmetricPermutation::new(&u, perm).unwrap();
         let f = crate::Ldlt::factor(sp.matrix()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
         let pb = sp.permute_vec(&b);
-        let px = f.solve(&pb);
+        let px = f.solve(&pb).unwrap();
         let x = sp.unpermute_vec(&px);
         // Check A x = b against the original dense matrix.
         for i in 0..n {
@@ -477,22 +516,22 @@ mod md_tests {
     #[test]
     fn refresh_values_tracks_source_matrix() {
         let u = upper_of(&bad_arrow(6));
-        let perm = min_degree_ordering(&u);
-        let mut sp = SymmetricPermutation::new(&u, perm);
+        let perm = min_degree_ordering(&u).unwrap();
+        let mut sp = SymmetricPermutation::new(&u, perm).unwrap();
         // Scale the original values and refresh.
         let mut u2 = u.clone();
         for v in u2.data_mut() {
             *v *= 3.0;
         }
-        sp.refresh_values(&u2);
-        let rebuilt = SymmetricPermutation::new(&u2, sp.perm().to_vec());
+        sp.refresh_values(&u2).unwrap();
+        let rebuilt = SymmetricPermutation::new(&u2, sp.perm().to_vec()).unwrap();
         assert_eq!(sp.matrix(), rebuilt.matrix());
     }
 
     #[test]
     fn permute_roundtrip() {
         let u = upper_of(&bad_arrow(5));
-        let sp = SymmetricPermutation::new(&u, vec![4, 2, 0, 1, 3]);
+        let sp = SymmetricPermutation::new(&u, vec![4, 2, 0, 1, 3]).unwrap();
         let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(sp.unpermute_vec(&sp.permute_vec(&v)), v);
         let mut buf = vec![0.0; 5];
@@ -517,7 +556,7 @@ mod md_tests {
             }
         }
         let u = CsrMatrix::from_triplets(n, n, t).upper_triangle().to_csc();
-        let perm = min_degree_ordering(&u);
+        let perm = min_degree_ordering(&u).unwrap();
         let hub_pos = perm.iter().position(|&v| v == 0).unwrap();
         assert!(hub_pos >= n - 2, "hub at position {hub_pos} of {n}");
     }
@@ -534,7 +573,7 @@ mod md_tests {
             }
         }
         let u = CsrMatrix::from_triplets(n, n, t).upper_triangle().to_csc();
-        let perm = min_degree_ordering(&u);
+        let perm = min_degree_ordering(&u).unwrap();
         let mut sorted = perm.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..n).collect::<Vec<_>>());

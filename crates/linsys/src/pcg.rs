@@ -136,13 +136,10 @@ pub struct PcgResult {
 /// Returns [`PcgError::Breakdown`] if the operator is indefinite along a
 /// search direction, [`PcgError::NonFinite`] if the recurrence produces
 /// NaN/Inf (e.g. corrupted `b` or operator data), and
-/// [`PcgError::Operator`] if an operator application fails. On error the
+/// [`PcgError::Operator`] if an operator application fails, including a
+/// typed dimension error when `b.len()` or `x0.len()` differ from
+/// `op.dim()` (checked up front before any state is touched). On error the
 /// warm-start `x0` remains the caller's last good iterate.
-///
-/// # Panics
-///
-/// Panics if `b.len()` or `x0.len()` differ from `op.dim()` (caller
-/// contract, checked up front before any state is touched).
 pub fn pcg(
     op: &mut dyn LinearOperator,
     b: &[f64],
@@ -150,8 +147,18 @@ pub fn pcg(
     settings: &PcgSettings,
 ) -> Result<PcgResult, PcgError> {
     let n = op.dim();
-    assert_eq!(b.len(), n, "rhs length mismatch");
-    assert_eq!(x0.len(), n, "warm-start length mismatch");
+    if b.len() != n {
+        return Err(PcgError::Operator(LinsysError::Dimension(format!(
+            "rhs length {} does not match operator dimension {n}",
+            b.len()
+        ))));
+    }
+    if x0.len() != n {
+        return Err(PcgError::Operator(LinsysError::Dimension(format!(
+            "warm-start length {} does not match operator dimension {n}",
+            x0.len()
+        ))));
+    }
 
     let minv: Option<Vec<f64>> = op
         .precond_diag()

@@ -50,7 +50,7 @@ proptest! {
         let f = Ldlt::factor(kkt.matrix()).unwrap();
         prop_assert_eq!(f.num_positive_d(), n);
         let b: Vec<f64> = (0..n + m).map(|i| (((seed + i as u64) % 11) as f64) - 5.0).collect();
-        let x = f.solve(&b);
+        let x = f.solve(&b).unwrap();
         // Residual check against the full symmetric KKT.
         let mut full = rsqp_sparse::CooMatrix::new(n + m, n + m);
         let u = kkt.matrix();
@@ -84,13 +84,13 @@ proptest! {
         let b1: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
         let b2: Vec<f64> = (0..m).map(|i| (i as f64 * 0.9).sin()).collect();
         let mut rhs: Vec<f64> = b1.iter().chain(b2.iter()).copied().collect();
-        f.solve_in_place(&mut rhs);
+        f.solve_in_place(&mut rhs).unwrap();
         // Indirect: reduced system with rhs b1 + Aᵀ(rho .* b2).
         let at = a.transpose();
         let mut reduced_b = b1.clone();
         let scaled: Vec<f64> = b2.iter().zip(&rho).map(|(v, r)| v * r).collect();
         at.spmv_acc(1.0, &scaled, &mut reduced_b).unwrap();
-        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho);
+        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
         let sol = pcg(
             &mut op,
             &reduced_b,

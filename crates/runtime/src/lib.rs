@@ -1,0 +1,65 @@
+//! Resilient concurrent solve runtime for RSQP.
+//!
+//! The paper's deployment story (§7 discussion) is a solver appliance:
+//! many QP instances stream through a fixed, problem-structure-customized
+//! accelerator. That only works in production if the *runtime* around the
+//! solver is robust — one diverging, hanging, or crashing solve must not
+//! take the service down or starve its neighbours. This crate provides
+//! that runtime for the Rust reproduction:
+//!
+//! * [`SolveService`] — a fixed worker pool behind a **bounded** job queue;
+//!   saturation surfaces as [`SubmitError::QueueFull`] backpressure rather
+//!   than unbounded buffering.
+//! * [`JobBudget`] — per-job wall-clock deadline (counted from submission)
+//!   and iteration cap, enforced *cooperatively* at ADMM iteration
+//!   boundaries via [`rsqp_solver::SolveControl`]; a budgeted job always
+//!   ends with a definite [`rsqp_solver::Status`].
+//! * **Panic isolation** — a panicking backend is caught per job
+//!   ([`JobError::Panicked`]); the worker survives and takes the next job.
+//! * [`RetryPolicy`] — a bounded retry ladder that degrades settings per
+//!   attempt (tighter CG tolerance → direct LDLᵀ fallback → reduced
+//!   iteration cap) and resumes each retry from the last finite
+//!   [`rsqp_solver::Checkpoint`] so completed work is kept.
+//! * [`ChaosPlan`] — deterministic fault injection (delays, recoverable
+//!   errors, panics) at the backend boundary, composing with the
+//!   cycle-level bit-flip faults of `rsqp-arch` for end-to-end chaos runs
+//!   (`cargo run -p rsqp-bench --bin chaos_smoke`).
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use rsqp_sparse::CsrMatrix;
+//! use rsqp_solver::QpProblem;
+//! use rsqp_runtime::{JobBudget, JobSpec, ServiceConfig, SolveService};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = QpProblem::new(
+//!     CsrMatrix::identity(2),
+//!     vec![-1.0, -1.0],
+//!     CsrMatrix::identity(2),
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 1.0],
+//! )?;
+//! let service = SolveService::new(ServiceConfig { workers: 2, queue_capacity: 8 });
+//! let job = JobSpec::new(problem)
+//!     .with_budget(JobBudget::unbounded().with_timeout(Duration::from_secs(5)));
+//! let handle = service.submit(job).expect("queue has room");
+//! let report = handle.wait();
+//! assert!(report.status().is_some_and(|s| s.is_solved()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chaos;
+mod job;
+mod retry;
+mod service;
+
+pub use chaos::ChaosPlan;
+pub use job::{AttemptSummary, BackendFactory, JobBudget, JobError, JobHandle, JobReport, JobSpec};
+pub use retry::RetryPolicy;
+pub use service::{ServiceConfig, SolveService, SubmitError};

@@ -1,0 +1,132 @@
+//! The bounded retry ladder.
+//!
+//! When an attempt ends in [`Status::NumericalError`], a recoverable
+//! [`SolverError`], or a caught panic, the service retries the job with
+//! progressively *degraded* settings — each rung trades speed or accuracy
+//! for robustness, mirroring (one level up) the in-solve guard ladder:
+//!
+//! | retry # | degradation |
+//! |---|---|
+//! | 1 | tighten the inner CG tolerance (more exact KKT solves) |
+//! | 2 | drop any custom backend and fall back to direct LDLᵀ |
+//! | ≥3 | halve `max_iter` (bound the cost of a attempt that will not converge) |
+//!
+//! Rungs are cumulative: retry 2 keeps retry 1's tighter tolerance. Each
+//! retry resumes from the last finite checkpoint, so work already done is
+//! not thrown away.
+//!
+//! [`Status::NumericalError`]: rsqp_solver::Status::NumericalError
+//! [`SolverError`]: rsqp_solver::SolverError
+
+use rsqp_solver::{CgTolerance, LinSysKind, Settings};
+
+use crate::job::BackendFactory;
+
+/// Floor for the tightened CG tolerance.
+const RETRY_CG_FLOOR: f64 = 1e-12;
+/// Multiplier applied to a fixed CG tolerance at the tightening rung.
+const RETRY_CG_SHRINK: f64 = 1e-2;
+/// Floor for the halved iteration cap.
+const RETRY_MIN_ITER: usize = 10;
+
+/// How many times a job may be attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retries).
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // First attempt + one rung of each degradation kind.
+        RetryPolicy { max_attempts: 4 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// A policy with `max_attempts` total attempts (clamped to ≥ 1).
+    pub fn with_max_attempts(max_attempts: usize) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1) }
+    }
+}
+
+/// Applies the degradation rung for retry number `retry` (1-based) in
+/// place. Also called for `retry > 3`, where it keeps halving `max_iter`.
+pub(crate) fn degrade(settings: &mut Settings, factory: &mut Option<BackendFactory>, retry: usize) {
+    match retry {
+        0 => {}
+        1 => {
+            settings.cg_tolerance = match settings.cg_tolerance {
+                CgTolerance::Fixed(e) => {
+                    CgTolerance::Fixed((e * RETRY_CG_SHRINK).max(RETRY_CG_FLOOR))
+                }
+                // Adaptive schedules already walk toward `min`; pin them
+                // there so every subsequent KKT solve is as exact as the
+                // schedule ever allowed.
+                CgTolerance::Adaptive { min, .. } => CgTolerance::Fixed(min.max(RETRY_CG_FLOOR)),
+            };
+        }
+        2 => {
+            *factory = None;
+            settings.linsys = LinSysKind::DirectLdlt;
+        }
+        _ => {
+            settings.max_iter = (settings.max_iter / 2).max(RETRY_MIN_ITER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rungs_degrade_cumulatively() {
+        let mut s = Settings { max_iter: 4000, ..Default::default() };
+        let mut f: Option<BackendFactory> = None;
+
+        degrade(&mut s, &mut f, 1);
+        let CgTolerance::Fixed(e1) = s.cg_tolerance else {
+            panic!("rung 1 pins the CG tolerance");
+        };
+        assert!(e1 <= 1e-10);
+
+        degrade(&mut s, &mut f, 2);
+        assert_eq!(s.linsys, LinSysKind::DirectLdlt);
+        assert!(matches!(s.cg_tolerance, CgTolerance::Fixed(_)), "rung 1 survives rung 2");
+
+        degrade(&mut s, &mut f, 3);
+        assert_eq!(s.max_iter, 2000);
+        degrade(&mut s, &mut f, 4);
+        assert_eq!(s.max_iter, 1000);
+    }
+
+    #[test]
+    fn fixed_tolerance_shrinks_with_floor() {
+        let mut s = Settings { cg_tolerance: CgTolerance::Fixed(1e-11), ..Default::default() };
+        let mut f: Option<BackendFactory> = None;
+        degrade(&mut s, &mut f, 1);
+        assert_eq!(s.cg_tolerance, CgTolerance::Fixed(1e-12));
+    }
+
+    #[test]
+    fn iteration_halving_has_a_floor() {
+        let mut s = Settings { max_iter: 11, ..Default::default() };
+        let mut f: Option<BackendFactory> = None;
+        degrade(&mut s, &mut f, 3);
+        assert_eq!(s.max_iter, RETRY_MIN_ITER);
+        degrade(&mut s, &mut f, 4);
+        assert_eq!(s.max_iter, RETRY_MIN_ITER);
+    }
+
+    #[test]
+    fn policy_clamps_to_one_attempt() {
+        assert_eq!(RetryPolicy::with_max_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! The concurrent solve service: bounded queue, worker pool, panic
+//! isolation, and the retry driver.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use rsqp_solver::{
+    CancelToken, Checkpoint, SolveControl, SolveResult, Solver, SolverError, Status,
+};
+
+use crate::job::{AttemptSummary, JobError, JobHandle, JobReport, JobSpec};
+use crate::retry::degrade;
+
+/// Sizing of a [`SolveService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads. Each runs one job at a time.
+    pub workers: usize,
+    /// Bounded queue depth. A submit beyond `workers` in-flight jobs plus
+    /// this many queued ones is rejected with
+    /// [`SubmitError::QueueFull`] — explicit backpressure instead of
+    /// unbounded memory growth.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, |p| p.get()).min(8);
+        ServiceConfig { workers, queue_capacity: 64 }
+    }
+}
+
+/// Why a submission was rejected. The spec is handed back so the caller can
+/// retry later (backpressure, not data loss).
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull {
+        /// The rejected job, returned to the caller.
+        spec: JobSpec,
+        /// The configured queue depth that was exceeded.
+        capacity: usize,
+    },
+    /// The service has been shut down.
+    ShuttingDown {
+        /// The rejected job, returned to the caller.
+        spec: JobSpec,
+    },
+}
+
+impl fmt::Debug for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, .. } => {
+                f.debug_struct("QueueFull").field("capacity", capacity).finish_non_exhaustive()
+            }
+            SubmitError::ShuttingDown { .. } => {
+                f.debug_struct("ShuttingDown").finish_non_exhaustive()
+            }
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity, .. } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown { .. } => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl SubmitError {
+    /// Recovers the rejected job spec.
+    pub fn into_spec(self) -> JobSpec {
+        match self {
+            SubmitError::QueueFull { spec, .. } | SubmitError::ShuttingDown { spec } => spec,
+        }
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    result_tx: mpsc::Sender<JobReport>,
+}
+
+/// A fixed pool of solver workers behind a bounded job queue.
+///
+/// Guarantees, by construction:
+///
+/// * **Backpressure** — `submit` never blocks and never buffers beyond the
+///   configured capacity; saturation is an error the caller sees.
+/// * **Definite outcomes** — every accepted job produces exactly one
+///   [`JobReport`], whatever happens: convergence, divergence, budget
+///   expiry, cancellation, backend errors, or a panicking backend.
+/// * **Panic isolation** — a panic inside a solve is caught and converted
+///   to [`JobError::Panicked`]; the worker thread survives and takes the
+///   next job.
+pub struct SolveService {
+    tx: Option<SyncSender<QueuedJob>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveService")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolveService {
+    /// Starts `config.workers` worker threads sharing one bounded queue.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let (tx, rx) = mpsc::sync_channel::<QueuedJob>(capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("rsqp-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        SolveService { tx: Some(tx), workers: handles, next_id: AtomicU64::new(0), capacity }
+    }
+
+    /// Starts a service with default sizing.
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// The job's wall-clock budget starts now — queue wait included.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`SolveService::shutdown`]. Both
+    /// return the spec to the caller.
+    // The error variants carry the rejected JobSpec by design (backpressure
+    // hands the job back instead of dropping it), so the error type is as
+    // large as a spec.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        let Some(tx) = &self.tx else {
+            return Err(SubmitError::ShuttingDown { spec });
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let deadline = spec.budget.timeout.map(|t| Instant::now() + t);
+        let (result_tx, result_rx) = mpsc::channel();
+        let queued = QueuedJob { id, spec, cancel: cancel.clone(), deadline, result_tx };
+        match tx.try_send(queued) {
+            Ok(()) => Ok(JobHandle { id, cancel, rx: result_rx }),
+            Err(TrySendError::Full(job)) => {
+                Err(SubmitError::QueueFull { spec: job.spec, capacity: self.capacity })
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                Err(SubmitError::ShuttingDown { spec: job.spec })
+            }
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the workers.
+    /// Already-queued jobs still run to completion and report normally.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.tx = None; // closes the channel; workers exit after draining
+        for handle in self.workers.drain(..) {
+            // Workers never panic (every job runs under catch_unwind), but
+            // a join error must not propagate out of shutdown/drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<QueuedJob>>>) {
+    loop {
+        // Hold the lock only to dequeue, never while solving. A poisoned
+        // lock cannot happen (recv does not panic) but is survived anyway.
+        let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+        let Ok(job) = job else { break };
+        let report = run_job(job.id, job.spec, &job.cancel, job.deadline);
+        // The submitter may have dropped the handle; that is not an error.
+        let _ = job.result_tx.send(report);
+    }
+}
+
+/// Drives one job through the retry ladder to a definite report.
+fn run_job(id: u64, spec: JobSpec, cancel: &CancelToken, deadline: Option<Instant>) -> JobReport {
+    let JobSpec { problem, mut settings, budget, retry, resume_from, mut factory } = spec;
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut attempts: Vec<AttemptSummary> = Vec::new();
+    let mut last_ckpt: Option<Checkpoint> = resume_from;
+    let max_attempts = retry.max_attempts.max(1);
+
+    let mut control = SolveControl::unbounded().with_cancel(cancel.clone());
+    if let Some(d) = deadline {
+        control = control.with_deadline(d);
+    }
+    if let Some(cap) = budget.iter_cap {
+        control = control.with_iter_cap(cap);
+    }
+
+    for attempt in 0..max_attempts {
+        let last = attempt + 1 == max_attempts;
+        if attempt > 0 {
+            degrade(&mut settings, &mut factory, attempt);
+        }
+        let resumed_from = last_ckpt.as_ref().map(|c| c.iterations);
+
+        type AttemptOk = (SolveResult, Checkpoint);
+        let attempt_result: Result<Result<AttemptOk, SolverError>, _> =
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut solver = match factory.as_mut() {
+                    Some(f) => Solver::with_backend(&problem, settings.clone(), f)?,
+                    None => Solver::new(&problem, settings.clone())?,
+                };
+                if let Some(ckpt) = &last_ckpt {
+                    solver.restore(ckpt)?;
+                }
+                let result = solver.solve_with_control(&control)?;
+                Ok((result, solver.checkpoint()))
+            }));
+
+        match attempt_result {
+            Ok(Ok((result, ckpt))) => {
+                attempts.push(AttemptSummary {
+                    index: attempt,
+                    status: Some(result.status),
+                    error: None,
+                    resumed_from,
+                });
+                // Only a numerical failure is worth a degraded retry; every
+                // other status (solved, infeasible, budget-driven) is final.
+                if result.status != Status::NumericalError || last {
+                    return JobReport { id, attempts, outcome: Ok(result) };
+                }
+                // Resume the retry from this attempt's endpoint when it is
+                // usable; otherwise keep the previous known-good checkpoint.
+                if ckpt.validate(n, m).is_ok() {
+                    last_ckpt = Some(ckpt);
+                }
+            }
+            Ok(Err(e)) => {
+                attempts.push(AttemptSummary {
+                    index: attempt,
+                    status: None,
+                    error: Some(e.to_string()),
+                    resumed_from,
+                });
+                if !e.is_recoverable() || last {
+                    return JobReport { id, attempts, outcome: Err(JobError::Solver(e)) };
+                }
+            }
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                attempts.push(AttemptSummary {
+                    index: attempt,
+                    status: None,
+                    error: Some(format!("panic: {msg}")),
+                    resumed_from,
+                });
+                if last {
+                    return JobReport { id, attempts, outcome: Err(JobError::Panicked(msg)) };
+                }
+            }
+        }
+    }
+    // Unreachable: the final loop iteration always returns. Kept as a
+    // definite outcome rather than a panic, in the spirit of this module.
+    JobReport { id, attempts, outcome: Err(JobError::Panicked("retry ladder fell through".into())) }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -143,10 +143,10 @@ impl DirectLdltBackend {
         let permutation = match ordering {
             KktOrdering::Natural => None,
             KktOrdering::Rcm => {
-                Some(SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix())))
+                Some(SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix())?)?)
             }
             KktOrdering::MinDegree => {
-                Some(SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix())))
+                Some(SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix())?)?)
             }
         };
         let factor = match &permutation {
@@ -184,7 +184,7 @@ impl KktBackend for DirectLdltBackend {
         self.kkt.update_rho(rho)?;
         match &mut self.permutation {
             Some(sp) => {
-                sp.refresh_values(self.kkt.matrix());
+                sp.refresh_values(self.kkt.matrix())?;
                 self.factor.refactor(sp.matrix())?;
             }
             None => self.factor.refactor(self.kkt.matrix())?,
@@ -213,10 +213,10 @@ impl KktBackend for DirectLdltBackend {
         match &self.permutation {
             Some(sp) => {
                 sp.permute_into(&self.rhs, &mut self.scratch);
-                self.factor.solve_in_place(&mut self.scratch);
+                self.factor.solve_in_place(&mut self.scratch)?;
                 sp.unpermute_into(&self.scratch, &mut self.rhs);
             }
-            None => self.factor.solve_in_place(&mut self.rhs),
+            None => self.factor.solve_in_place(&mut self.rhs)?,
         }
         xtilde.copy_from_slice(&self.rhs[..self.n]);
         // z̃ = z + ρ⁻¹(ν − y)
@@ -238,7 +238,7 @@ impl KktBackend for DirectLdltBackend {
         self.kkt = KktMatrix::assemble(p, a, self.sigma, rho)?;
         match &mut self.permutation {
             Some(sp) => {
-                sp.refresh_values(self.kkt.matrix());
+                sp.refresh_values(self.kkt.matrix())?;
                 self.factor.refactor(sp.matrix())?;
             }
             None => self.factor.refactor(self.kkt.matrix())?,
@@ -335,7 +335,8 @@ impl KktBackend for CpuPcgBackend {
         }
         self.at.spmv_acc(1.0, &self.tmp_m, &mut self.rhs)?;
 
-        let mut op = ReducedKktOp::new(&self.p, &self.a, &self.at, self.sigma, &self.rho);
+        let mut op = ReducedKktOp::new(&self.p, &self.a, &self.at, self.sigma, &self.rho)
+            .map_err(SolverError::Linsys)?;
         let settings = PcgSettings { eps: self.eps, eps_abs: 1e-15, max_iter: self.max_iter };
         let sol = pcg(&mut op, &self.rhs, x, &settings);
         self.stats.spmv_evals += op.spmv_count() + 2;

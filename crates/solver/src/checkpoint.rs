@@ -1,0 +1,268 @@
+//! Checkpoint / warm-restart of an interrupted solve.
+//!
+//! A [`Checkpoint`] captures everything needed to resume an ADMM solve from
+//! where it stopped: the unscaled iterates `x`, `y`, `z`, the base step size
+//! ρ̄, and the iteration count so far. The iterates are stored *unscaled* so
+//! a checkpoint survives a re-equilibration — restoring maps them back into
+//! whatever scaled space the receiving solver uses, which also makes
+//! checkpoints portable across backends (a PCG-backed attempt can be resumed
+//! on a direct-LDLᵀ solver, the degradation path `rsqp-runtime`'s retry
+//! ladder takes).
+//!
+//! Checkpoints serialize to a small, versioned, little-endian byte format
+//! ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`]) so a runtime can
+//! park them out-of-process if needed.
+
+use crate::{Solver, SolverError};
+
+/// Magic prefix of the serialized format.
+const MAGIC: &[u8; 8] = b"RSQPCKPT";
+/// Current serialization version.
+const VERSION: u32 = 1;
+
+/// A resumable snapshot of a solve, in the original (unscaled) problem
+/// space. Obtain one with [`Solver::checkpoint`], resume with
+/// [`Solver::restore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Unscaled primal iterate.
+    pub x: Vec<f64>,
+    /// Unscaled dual iterate.
+    pub y: Vec<f64>,
+    /// Unscaled slack iterate (`z ≈ Ax` after projection).
+    pub z: Vec<f64>,
+    /// Base step size ρ̄ at capture time (adaptive updates resume from it).
+    pub rho_bar: f64,
+    /// Total ADMM iterations completed before capture (informational; a
+    /// resumed solve starts its own iteration count).
+    pub iterations: u64,
+}
+
+impl Checkpoint {
+    /// Number of primal variables.
+    pub fn num_vars(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Serializes to the versioned little-endian byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.x.len();
+        let m = self.y.len();
+        let mut out = Vec::with_capacity(8 + 4 + 8 * 3 + 8 + 8 * (n + 2 * m));
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&(m as u64).to_le_bytes());
+        out.extend_from_slice(&self.iterations.to_le_bytes());
+        out.extend_from_slice(&self.rho_bar.to_le_bytes());
+        for v in self.x.iter().chain(&self.y).chain(&self.z) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from [`Checkpoint::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] for a wrong magic, an
+    /// unsupported version, or a truncated / oversized payload.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SolverError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(SolverError::InvalidProblem(
+                "checkpoint magic mismatch: not a serialized checkpoint".into(),
+            ));
+        }
+        let version = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SolverError::InvalidProblem(format!(
+                "unsupported checkpoint version {version} (supported: {VERSION})"
+            )));
+        }
+        let n = r.take_u64()? as usize;
+        let m = r.take_u64()? as usize;
+        let iterations = r.take_u64()?;
+        let rho_bar = r.take_f64()?;
+        let mut take_vec = |len: usize| -> Result<Vec<f64>, SolverError> {
+            (0..len).map(|_| r.take_f64()).collect()
+        };
+        let x = take_vec(n)?;
+        let y = take_vec(m)?;
+        let z = take_vec(m)?;
+        if r.pos != bytes.len() {
+            return Err(SolverError::InvalidProblem(format!(
+                "checkpoint has {} trailing bytes",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(Checkpoint { x, y, z, rho_bar, iterations })
+    }
+
+    /// Validates the snapshot against a target problem shape: dimensions
+    /// must match, iterates must be finite, ρ̄ must be a positive finite
+    /// number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] describing the first
+    /// violation found.
+    pub fn validate(&self, n: usize, m: usize) -> Result<(), SolverError> {
+        if self.x.len() != n || self.y.len() != m || self.z.len() != m {
+            return Err(SolverError::InvalidProblem(format!(
+                "checkpoint shape ({}, {}) does not match problem ({n}, {m})",
+                self.x.len(),
+                self.y.len()
+            )));
+        }
+        let finite = |v: &[f64]| v.iter().all(|x| x.is_finite());
+        if !finite(&self.x) || !finite(&self.y) || !finite(&self.z) {
+            return Err(SolverError::InvalidProblem(
+                "checkpoint contains non-finite iterate entries".into(),
+            ));
+        }
+        if !(self.rho_bar.is_finite() && self.rho_bar > 0.0) {
+            return Err(SolverError::InvalidProblem(format!(
+                "checkpoint rho_bar {} is not a positive finite number",
+                self.rho_bar
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, len: usize) -> Result<&[u8], SolverError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| SolverError::InvalidProblem("checkpoint truncated".into()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn take_u64(&mut self) -> Result<u64, SolverError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn take_f64(&mut self) -> Result<f64, SolverError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+impl Solver {
+    /// Captures a resumable snapshot of the current iterates and step size,
+    /// in the original (unscaled) problem space.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            x: self.unscaled_x(),
+            y: self.unscaled_y(),
+            z: self.unscaled_z(),
+            rho_bar: self.rho_bar(),
+            iterations: self.total_iterations(),
+        }
+    }
+
+    /// Restores iterates and ρ̄ from a checkpoint, warm-starting the next
+    /// [`Solver::solve`] call from where the captured solve stopped. The
+    /// checkpoint may come from a solver with a different backend or
+    /// scaling — iterates are re-scaled into this solver's space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InvalidProblem`] when the checkpoint fails
+    /// [`Checkpoint::validate`] against this solver's problem, or a backend
+    /// error if the ρ refresh fails to refactorize.
+    pub fn restore(&mut self, ckpt: &Checkpoint) -> Result<(), SolverError> {
+        ckpt.validate(self.problem().num_vars(), self.problem().num_constraints())?;
+        if ckpt.rho_bar != self.rho_bar() {
+            self.update_rho(ckpt.rho_bar)?;
+        }
+        self.restore_iterates(&ckpt.x, &ckpt.y, &ckpt.z, ckpt.iterations);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            x: vec![1.0, -2.5],
+            y: vec![0.25, 0.0, 9.0],
+            z: vec![1.0, 2.0, 3.0],
+            rho_bar: 0.1,
+            iterations: 42,
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = sample();
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut b = sample().to_bytes();
+        b[0] = b'X';
+        let err = Checkpoint::from_bytes(&b).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut b = sample().to_bytes();
+        b[8] = 99;
+        let err = Checkpoint::from_bytes(&b).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let b = sample().to_bytes();
+        for cut in [0, 7, 11, 20, b.len() - 1] {
+            assert!(Checkpoint::from_bytes(&b[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut b = sample().to_bytes();
+        b.push(0);
+        let err = Checkpoint::from_bytes(&b).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn validate_checks_shape_finiteness_and_rho() {
+        let c = sample();
+        assert!(c.validate(2, 3).is_ok());
+        assert!(c.validate(3, 3).is_err());
+        assert!(c.validate(2, 2).is_err());
+        let mut bad = sample();
+        bad.x[0] = f64::NAN;
+        assert!(bad.validate(2, 3).is_err());
+        let mut bad = sample();
+        bad.rho_bar = -1.0;
+        assert!(bad.validate(2, 3).is_err());
+        let mut bad = sample();
+        bad.rho_bar = f64::INFINITY;
+        assert!(bad.validate(2, 3).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Cooperative cancellation and per-solve budgets.
+//!
+//! ADMM is an anytime algorithm: stopping at an iteration boundary always
+//! leaves a well-defined (if unconverged) iterate. [`SolveControl`] exploits
+//! that: a caller hands the solver a budget — a wall-clock deadline, an
+//! iteration cap, a [`CancelToken`] another thread may trip — and the solver
+//! checks it cooperatively at every iteration boundary, returning promptly
+//! with a definite [`Status`] instead of being killed mid-factorization.
+//!
+//! This is the mechanism the `rsqp-runtime` crate's job budgets are built
+//! on; it involves no signals, no thread aborts, and no unsafe code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::Status;
+
+/// A shareable, monotonic cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same flag. Once
+/// cancelled, a token stays cancelled — there is no reset, so a token is
+/// per-solve (or per-job), not reusable across logical attempts.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Safe to call from any thread, any number of times.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A per-solve budget checked cooperatively at ADMM iteration boundaries.
+///
+/// The default value is unbounded: no deadline, no extra iteration cap, no
+/// cancellation. All limits compose with [`Settings`](crate::Settings) —
+/// e.g. the effective wall-clock budget is the tighter of
+/// [`Settings::time_limit`](crate::Settings) and [`SolveControl::deadline`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveControl {
+    /// Cooperative cancellation flag, checked once per ADMM iteration.
+    pub cancel: Option<CancelToken>,
+    /// Absolute wall-clock deadline. Unlike `Settings::time_limit` (a
+    /// duration relative to the start of each `solve` call), a deadline is
+    /// fixed in time and therefore survives retries: a retried attempt gets
+    /// only the time that is actually left.
+    pub deadline: Option<Instant>,
+    /// Additional iteration cap, combined with `Settings::max_iter` by
+    /// taking the minimum.
+    pub iter_cap: Option<usize>,
+}
+
+impl SolveControl {
+    /// A control with no limits — `solve` behaves as if uncontrolled.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    #[must_use]
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Caps the number of ADMM iterations this call may run.
+    #[must_use]
+    pub fn with_iter_cap(mut self, cap: usize) -> Self {
+        self.iter_cap = Some(cap);
+        self
+    }
+
+    /// Returns the terminal status to stop with if a budget is exhausted
+    /// right now, or `None` to keep iterating. Cancellation wins over the
+    /// deadline so an explicit abort is reported as such.
+    pub(crate) fn check(&self, now: Instant) -> Option<Status> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(Status::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| now >= d) {
+            return Some(Status::TimeLimitReached);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_is_shared_and_monotonic() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn unbounded_control_never_stops() {
+        let c = SolveControl::unbounded();
+        assert_eq!(c.check(Instant::now()), None);
+    }
+
+    #[test]
+    fn cancellation_beats_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let c = SolveControl::unbounded()
+            .with_cancel(token)
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(c.check(Instant::now()), Some(Status::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_reports_time_limit() {
+        let c = SolveControl::unbounded().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.check(Instant::now()), Some(Status::TimeLimitReached));
+    }
+
+    #[test]
+    fn future_deadline_keeps_running() {
+        let c = SolveControl::unbounded().with_timeout(Duration::from_secs(3600));
+        assert_eq!(c.check(Instant::now()), None);
+    }
+}

@@ -47,6 +47,8 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod checkpoint;
+mod control;
 mod error;
 mod guard;
 mod infeasibility;
@@ -60,6 +62,8 @@ mod status;
 mod termination;
 
 pub use backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
+pub use checkpoint::Checkpoint;
+pub use control::{CancelToken, SolveControl};
 pub use error::SolverError;
 pub use guard::{Anomaly, Guard, GuardReport, GuardSettings, RecoveryAction};
 pub use polish::{polish, PolishOutcome};

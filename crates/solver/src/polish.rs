@@ -98,11 +98,11 @@ pub fn polish(
     for (slot, &(_, b)) in active.iter().enumerate() {
         rhs[n + slot] = b;
     }
-    let mut sol = factor.solve(&rhs);
+    let mut sol = factor.solve(&rhs)?;
     for _ in 0..refine_iters {
         let residual = kkt_residual(problem, &active, &sol, &rhs)?;
         let mut corr = residual;
-        factor.solve_in_place(&mut corr);
+        factor.solve_in_place(&mut corr)?;
         for (s, c) in sol.iter_mut().zip(&corr) {
             *s += c;
         }

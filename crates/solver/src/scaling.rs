@@ -167,6 +167,12 @@ impl Scaling {
     pub fn scale_y(&self, y: &[f64]) -> Vec<f64> {
         y.iter().zip(&self.einv).map(|(&v, &s)| v * s * self.c).collect()
     }
+
+    /// Maps an unscaled slack point into scaled space: `z̄ = E·z` (the
+    /// inverse of [`Scaling::unscale_z`], used by checkpoint restore).
+    pub fn scale_z(&self, z: &[f64]) -> Vec<f64> {
+        z.iter().zip(&self.e).map(|(&v, &s)| v * s).collect()
+    }
 }
 
 fn inv_sqrt_clamped(norm: f64) -> f64 {
@@ -247,6 +253,10 @@ mod tests {
         let back = sc.unscale_y(&sc.scale_y(&y));
         assert!((back[0] - y[0]).abs() < 1e-12);
         assert!((back[1] - y[1]).abs() < 1e-12);
+        let z = vec![-3.0, 0.5];
+        let back = sc.unscale_z(&sc.scale_z(&z));
+        assert!((back[0] - z[0]).abs() < 1e-12);
+        assert!((back[1] - z[1]).abs() < 1e-12);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use rsqp_sparse::CsrMatrix;
 
 use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
+use crate::control::SolveControl;
 use crate::guard::{Anomaly, Guard, GuardReport, RecoveryAction};
 use crate::infeasibility::{dual_certificate, primal_certificate};
 use crate::settings::{CgTolerance, LinSysKind};
@@ -124,6 +125,9 @@ pub struct Solver {
     setup_time: Duration,
     /// Work counters of backends retired by the recovery ladder.
     retired_stats: BackendStats,
+    /// ADMM iterations accumulated across `solve` calls (checkpoint
+    /// metadata; restored by [`Solver::restore`]).
+    total_iterations: u64,
 }
 
 impl std::fmt::Debug for Solver {
@@ -212,6 +216,7 @@ impl Solver {
             y: vec![0.0; m],
             setup_time: start.elapsed(),
             retired_stats: BackendStats::default(),
+            total_iterations: 0,
         })
     }
 
@@ -229,7 +234,9 @@ impl Solver {
     ///
     /// # Errors
     ///
-    /// Returns [`SolverError::InvalidProblem`] on length mismatches.
+    /// Returns [`SolverError::InvalidProblem`] on length mismatches or
+    /// non-finite entries (a NaN warm start would silently poison every
+    /// subsequent iterate).
     pub fn warm_start(&mut self, x: &[f64], y: &[f64]) -> Result<(), SolverError> {
         if x.len() != self.x.len() || y.len() != self.y.len() {
             return Err(SolverError::InvalidProblem(format!(
@@ -238,6 +245,18 @@ impl Solver {
                 y.len(),
                 self.x.len(),
                 self.y.len()
+            )));
+        }
+        if let Some(j) = x.iter().position(|v| !v.is_finite()) {
+            return Err(SolverError::InvalidProblem(format!(
+                "warm-start x[{j}] = {} is not finite",
+                x[j]
+            )));
+        }
+        if let Some(i) = y.iter().position(|v| !v.is_finite()) {
+            return Err(SolverError::InvalidProblem(format!(
+                "warm-start y[{i}] = {} is not finite",
+                y[i]
             )));
         }
         self.x = self.scaling.scale_x(x);
@@ -251,6 +270,41 @@ impl Solver {
         self.x.fill(0.0);
         self.z.fill(0.0);
         self.y.fill(0.0);
+    }
+
+    /// The current base step size ρ̄.
+    pub fn rho_bar(&self) -> f64 {
+        self.rho_mgr.rho_bar()
+    }
+
+    /// Total ADMM iterations accumulated across all `solve` calls on this
+    /// instance (checkpoint metadata).
+    pub fn total_iterations(&self) -> u64 {
+        self.total_iterations
+    }
+
+    pub(crate) fn unscaled_x(&self) -> Vec<f64> {
+        self.scaling.unscale_x(&self.x)
+    }
+
+    pub(crate) fn unscaled_y(&self) -> Vec<f64> {
+        self.scaling.unscale_y(&self.y)
+    }
+
+    pub(crate) fn unscaled_z(&self) -> Vec<f64> {
+        self.scaling.unscale_z(&self.z)
+    }
+
+    /// Installs unscaled iterates verbatim (checkpoint restore). Unlike
+    /// [`Solver::warm_start`], the slack `z` is restored exactly rather
+    /// than recomputed as `Ax` — mid-ADMM the two differ, and resuming must
+    /// not perturb the dual update. Inputs are pre-validated by
+    /// [`crate::Checkpoint::validate`].
+    pub(crate) fn restore_iterates(&mut self, x: &[f64], y: &[f64], z: &[f64], iters: u64) {
+        self.x = self.scaling.scale_x(x);
+        self.y = self.scaling.scale_y(y);
+        self.z = self.scaling.scale_z(z);
+        self.total_iterations = iters;
     }
 
     /// Replaces the constraint bounds (same structure), re-deriving the
@@ -367,11 +421,39 @@ impl Solver {
     /// Returns an error only on backend failure (e.g. a refactorization
     /// failing after a ρ update).
     pub fn solve(&mut self) -> Result<SolveResult, SolverError> {
+        self.solve_with_control(&SolveControl::unbounded())
+    }
+
+    /// Like [`Solver::solve`], but under a caller-provided budget: a
+    /// wall-clock deadline, an iteration cap, and/or a cancellation token
+    /// another thread may trip. The budget is checked cooperatively at every
+    /// ADMM iteration boundary — including after guard recoveries and the
+    /// PCG→LDLᵀ fallback refactorization — so an expired budget surfaces as
+    /// [`Status::Cancelled`] / [`Status::TimeLimitReached`] promptly and
+    /// with well-defined iterates, never as a mid-iteration abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on backend failure; budget exhaustion is a
+    /// status, not an error.
+    pub fn solve_with_control(
+        &mut self,
+        control: &SolveControl,
+    ) -> Result<SolveResult, SolverError> {
         let t_start = Instant::now();
         let mut kkt_time = Duration::ZERO;
         let n = self.x.len();
         let m = self.z.len();
         let s = self.settings.clone();
+
+        // Unified wall-clock budget: the tighter of the relative
+        // `Settings::time_limit` and the absolute control deadline.
+        let mut budget = control.clone();
+        if let Some(limit) = s.time_limit {
+            let from_settings = t_start + limit;
+            budget.deadline = Some(budget.deadline.map_or(from_settings, |d| d.min(from_settings)));
+        }
+        let max_iter = control.iter_cap.map_or(s.max_iter, |cap| cap.min(s.max_iter)).max(1);
 
         let mut xtilde = vec![0.0; n];
         let mut ztilde = vec![0.0; m];
@@ -393,7 +475,7 @@ impl Solver {
         let mut last_res = f64::INFINITY;
 
         let mut status = Status::MaxIterationsReached;
-        let mut iterations = s.max_iter;
+        let mut iterations = max_iter;
         let mut last_info: Option<ResidualInfo> = None;
         let mut last_rho_iter = 0usize;
         let mut guard = if s.guard.enabled {
@@ -402,7 +484,17 @@ impl Solver {
             None
         };
 
-        for k in 1..=s.max_iter {
+        for k in 1..=max_iter {
+            // Budget check at the iteration boundary. This also catches a
+            // deadline that expired *inside* the previous KKT solve or a
+            // guard recovery (e.g. the fallback LDLᵀ refactorization), so no
+            // code path can overrun the budget by more than one iteration.
+            if let Some(stop) = budget.check(Instant::now()) {
+                status = stop;
+                iterations = k - 1;
+                break;
+            }
+
             prev_x.copy_from_slice(&self.x);
             prev_y.copy_from_slice(&self.y);
 
@@ -449,7 +541,7 @@ impl Solver {
                 self.y[i] = rho_vec[i] * (zcand[i] - self.z[i]);
             }
 
-            let checking = k % s.check_termination == 0 || k == s.max_iter;
+            let checking = k % s.check_termination == 0 || k == max_iter;
             if !checking {
                 continue;
             }
@@ -478,14 +570,6 @@ impl Solver {
                 status = Status::Solved;
                 iterations = k;
                 break;
-            }
-
-            if let Some(limit) = s.time_limit {
-                if t_start.elapsed() >= limit {
-                    status = Status::TimeLimitReached;
-                    iterations = k;
-                    break;
-                }
             }
 
             if self.detect_primal_infeasible(&prev_y, s.eps_prim_inf)? {
@@ -529,6 +613,7 @@ impl Solver {
             }
         }
 
+        self.total_iterations += iterations as u64;
         let mut x = self.scaling.unscale_x(&self.x);
         let mut y = self.scaling.unscale_y(&self.y);
         let mut z = self.scaling.unscale_z(&self.z);
@@ -537,7 +622,10 @@ impl Solver {
             None => (f64::NAN, f64::NAN),
         };
         let mut polished = false;
-        if s.polish && status == Status::Solved {
+        // Polish only with budget to spare: if the deadline expired between
+        // convergence and here, the status stays Solved (the iterate is a
+        // solution) but the optional refinement is skipped.
+        if s.polish && status == Status::Solved && budget.check(Instant::now()).is_none() {
             if let Some(out) =
                 crate::polish::polish(&self.orig, &y, s.polish_delta, s.polish_refine_iters)?
             {

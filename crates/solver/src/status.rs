@@ -9,6 +9,9 @@ pub enum Status {
     MaxIterationsReached,
     /// The wall-clock budget was exhausted before the tolerances were met.
     TimeLimitReached,
+    /// A [`CancelToken`](crate::CancelToken) was tripped; the returned
+    /// iterate is the last completed ADMM iteration's, not a solution.
+    Cancelled,
     /// A primal-infeasibility certificate was found (`y` direction).
     PrimalInfeasible,
     /// A dual-infeasibility certificate was found (`x` direction, unbounded
@@ -33,6 +36,7 @@ impl fmt::Display for Status {
             Status::Solved => "solved",
             Status::MaxIterationsReached => "maximum iterations reached",
             Status::TimeLimitReached => "time limit reached",
+            Status::Cancelled => "cancelled",
             Status::PrimalInfeasible => "primal infeasible",
             Status::DualInfeasible => "dual infeasible",
             Status::NumericalError => "numerical error",
@@ -53,5 +57,7 @@ mod tests {
         assert!(Status::DualInfeasible.to_string().contains("dual"));
         assert!(!Status::NumericalError.is_solved());
         assert_eq!(Status::NumericalError.to_string(), "numerical error");
+        assert!(!Status::Cancelled.is_solved());
+        assert_eq!(Status::Cancelled.to_string(), "cancelled");
     }
 }

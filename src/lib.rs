@@ -43,5 +43,6 @@ pub use rsqp_cvb as cvb;
 pub use rsqp_encode as encode;
 pub use rsqp_linsys as linsys;
 pub use rsqp_problems as problems;
+pub use rsqp_runtime as runtime;
 pub use rsqp_solver as solver;
 pub use rsqp_sparse as sparse;

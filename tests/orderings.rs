@@ -11,10 +11,14 @@ fn kkt_fill(domain: Domain, size: usize, ordering: KktOrdering) -> usize {
     let mat = match ordering {
         KktOrdering::Natural => kkt.matrix().clone(),
         KktOrdering::Rcm => {
-            SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix())).matrix().clone()
+            SymmetricPermutation::new(kkt.matrix(), rcm_ordering(kkt.matrix()).unwrap())
+                .unwrap()
+                .matrix()
+                .clone()
         }
         KktOrdering::MinDegree => {
-            SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()))
+            SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix()).unwrap())
+                .unwrap()
                 .matrix()
                 .clone()
         }
