@@ -45,13 +45,12 @@ fn bench_pcg(c: &mut Criterion) {
     group.sample_size(20);
     for size in [8usize, 20] {
         let qp = generate(Domain::Control, size, 1);
-        let at = qp.a().transpose();
         let rho = vec![0.1; qp.num_constraints()];
         let rhs = vec![1.0; qp.num_vars()];
         let x0 = vec![0.0; qp.num_vars()];
         group.bench_function(BenchmarkId::new("reduced_kkt", qp.total_nnz()), |b| {
             b.iter(|| {
-                let mut op = ReducedKktOp::new(qp.p(), qp.a(), &at, 1e-6, &rho).unwrap();
+                let mut op = ReducedKktOp::new(qp.p(), qp.a(), 1e-6, &rho).unwrap();
                 pcg(&mut op, &rhs, &x0, &PcgSettings { eps: 1e-8, ..Default::default() }).unwrap()
             });
         });

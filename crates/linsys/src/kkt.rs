@@ -10,7 +10,10 @@
 //!   FPGA datapath evaluate. Following §2.2, `AᵀA` is never formed: the
 //!   product is computed incrementally as `P·x + σ·x + Aᵀ(ρ ∘ (A·x))`.
 
-use rsqp_sparse::{CooMatrix, CscMatrix, CsrMatrix};
+use std::sync::Arc;
+
+use rsqp_par::ThreadPool;
+use rsqp_sparse::{CooMatrix, CscMatrix, CsrMatrix, RowPartition, TransposeCache};
 
 use crate::pcg::LinearOperator;
 use crate::LinsysError;
@@ -140,31 +143,59 @@ impl KktMatrix {
 }
 
 /// Matrix-free reduced KKT operator `K = P + σI + Aᵀ diag(ρ) A` (Eq. 3).
+///
+/// `Aᵀ` is built **once** at construction as a [`TransposeCache`], so every
+/// `apply` evaluates `Aᵀ(ρ∘(Ax))` as two cache-friendly gather SpMVs
+/// instead of a scatter (the GPU implementation and the FPGA likewise store
+/// `A` and `Aᵀ` explicitly for row-major streaming). The operator owns its
+/// matrices behind [`Arc`]s so backends can hold it across iterations
+/// without cloning data, and runs its SpMVs on a shared [`ThreadPool`] over
+/// nnz-balanced [`RowPartition`]s — bit-identical for every pool size.
 #[derive(Debug, Clone)]
-pub struct ReducedKktOp<'a> {
-    p: &'a CsrMatrix,
-    a: &'a CsrMatrix,
-    at: &'a CsrMatrix,
+pub struct ReducedKktOp {
+    p: Arc<CsrMatrix>,
+    a: Arc<CsrMatrix>,
+    at: TransposeCache,
     sigma: f64,
     rho: Vec<f64>,
     tmp_m: Vec<f64>,
+    pool: Arc<ThreadPool>,
+    p_part: RowPartition,
+    a_part: RowPartition,
+    at_part: RowPartition,
     spmv_count: usize,
 }
 
-impl<'a> ReducedKktOp<'a> {
-    /// Creates the operator. `at` must be the transpose of `a` (kept
-    /// separate because both the GPU implementation and the FPGA store `A`
-    /// and `Aᵀ` explicitly for row-major streaming).
+impl ReducedKktOp {
+    /// Creates a serial operator, cloning the matrices once and building
+    /// the `Aᵀ` cache.
     ///
     /// # Errors
     ///
     /// Returns [`LinsysError::Dimension`] if the shapes are inconsistent.
-    pub fn new(
-        p: &'a CsrMatrix,
-        a: &'a CsrMatrix,
-        at: &'a CsrMatrix,
+    pub fn new(p: &CsrMatrix, a: &CsrMatrix, sigma: f64, rho: &[f64]) -> Result<Self, LinsysError> {
+        Self::with_pool(
+            Arc::new(p.clone()),
+            Arc::new(a.clone()),
+            sigma,
+            rho,
+            Arc::new(ThreadPool::serial()),
+        )
+    }
+
+    /// Creates the operator on an existing pool without copying matrix
+    /// data. Row partitions are balanced by nnz for the pool size; the `Aᵀ`
+    /// cache is built here, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::Dimension`] if the shapes are inconsistent.
+    pub fn with_pool(
+        p: Arc<CsrMatrix>,
+        a: Arc<CsrMatrix>,
         sigma: f64,
         rho: &[f64],
+        pool: Arc<ThreadPool>,
     ) -> Result<Self, LinsysError> {
         let n = p.nrows();
         let m = a.nrows();
@@ -177,20 +208,32 @@ impl<'a> ReducedKktOp<'a> {
                 a.ncols()
             )));
         }
-        if (at.nrows(), at.ncols()) != (n, m) {
-            return Err(LinsysError::Dimension(format!(
-                "At is {}x{} but must be the {n}x{m} transpose of A",
-                at.nrows(),
-                at.ncols()
-            )));
-        }
         if rho.len() != m {
             return Err(LinsysError::Dimension(format!(
                 "rho has length {} but A has {m} rows",
                 rho.len()
             )));
         }
-        Ok(ReducedKktOp { p, a, at, sigma, rho: rho.to_vec(), tmp_m: vec![0.0; m], spmv_count: 0 })
+        let at = TransposeCache::new(&a);
+        // A mild oversplit (2 chunks per thread) smooths out rows of uneven
+        // cost without shrinking chunks below useful sizes.
+        let chunks = pool.threads() * 2;
+        let p_part = RowPartition::balanced(&p, chunks);
+        let a_part = RowPartition::balanced(&a, chunks);
+        let at_part = RowPartition::balanced(at.matrix(), chunks);
+        Ok(ReducedKktOp {
+            p,
+            a,
+            at,
+            sigma,
+            rho: rho.to_vec(),
+            tmp_m: vec![0.0; m],
+            pool,
+            p_part,
+            a_part,
+            at_part,
+            spmv_count: 0,
+        })
     }
 
     /// Replaces the ρ vector (no structural work needed — this is the big
@@ -211,23 +254,104 @@ impl<'a> ReducedKktOp<'a> {
         Ok(())
     }
 
+    /// Replaces the matrix values and ρ. The sparsity patterns of `P` and
+    /// `A` must match the originals (the ADMM solver only rescales values
+    /// in place); the `Aᵀ` cache is refreshed by a linear value pass, never
+    /// rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::Dimension`] when a shape, nonzero count, or
+    /// the ρ length differs from the cached structure.
+    pub fn update_values(
+        &mut self,
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        rho: &[f64],
+    ) -> Result<(), LinsysError> {
+        if (p.nrows(), p.ncols(), p.nnz()) != (self.p.nrows(), self.p.ncols(), self.p.nnz()) {
+            return Err(LinsysError::Dimension("P shape or nnz changed in update".into()));
+        }
+        if (a.nrows(), a.ncols(), a.nnz()) != (self.a.nrows(), self.a.ncols(), self.a.nnz()) {
+            return Err(LinsysError::Dimension("A shape or nnz changed in update".into()));
+        }
+        self.update_rho(rho)?;
+        self.p = Arc::new(p.clone());
+        self.a = Arc::new(a.clone());
+        self.at.refresh_values(&self.a)?;
+        Ok(())
+    }
+
     /// The Jacobi preconditioner diagonal
-    /// `diag(P) + σ + Σ_i ρ_i A_{i,·}²` (column-wise).
+    /// `diag(P) + σ + Σ_i ρ_i A_{i,·}²` (column-wise), freshly allocated.
     pub fn jacobi_diag(&self) -> Vec<f64> {
-        let n = self.p.nrows();
-        let mut d = self.p.diagonal();
-        for v in &mut d {
-            *v += self.sigma;
+        let mut d = vec![0.0; self.p.nrows()];
+        self.jacobi_diag_into(&mut d);
+        d
+    }
+
+    /// Writes the Jacobi preconditioner diagonal into `out` (length `n`)
+    /// without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != n`.
+    pub fn jacobi_diag_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.p.nrows(), "jacobi diagonal length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.p.get(i, i) + self.sigma;
         }
         for i in 0..self.a.nrows() {
             let (cols, vals) = self.a.row(i);
             let ri = self.rho[i];
             for (&j, &v) in cols.iter().zip(vals) {
-                d[j] += ri * v * v;
+                out[j] += ri * v * v;
             }
         }
-        debug_assert_eq!(d.len(), n);
-        d
+    }
+
+    /// `y = A x` on the operator's pool — the `z̃ = A x̃` step of a KKT
+    /// solve, counted in [`Self::spmv_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::Sparse`] on shape mismatch.
+    pub fn a_spmv(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+        self.a.spmv_partitioned(x, y, &self.pool, &self.a_part)?;
+        self.spmv_count += 1;
+        Ok(())
+    }
+
+    /// `y += alpha · Aᵀ x` through the cached gather transpose on the
+    /// operator's pool, counted in [`Self::spmv_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinsysError::Sparse`] on shape mismatch.
+    pub fn at_spmv_acc(&mut self, alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
+        self.at.matrix().spmv_acc_partitioned(alpha, x, y, &self.pool, &self.at_part)?;
+        self.spmv_count += 1;
+        Ok(())
+    }
+
+    /// The cached transpose `Aᵀ`.
+    pub fn transpose(&self) -> &TransposeCache {
+        &self.at
+    }
+
+    /// The current ρ vector.
+    pub fn rho(&self) -> &[f64] {
+        &self.rho
+    }
+
+    /// The regularization shift σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The pool this operator dispatches its SpMVs on.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
     /// Number of `A`/`Aᵀ`/`P` SpMV evaluations performed so far (three per
@@ -237,29 +361,34 @@ impl<'a> ReducedKktOp<'a> {
     }
 }
 
-impl LinearOperator for ReducedKktOp<'_> {
+impl LinearOperator for ReducedKktOp {
     fn dim(&self) -> usize {
         self.p.nrows()
     }
 
     fn apply(&mut self, x: &[f64], y: &mut [f64]) -> Result<(), LinsysError> {
         // y = P x + sigma x
-        self.p.spmv(x, y)?;
+        self.p.spmv_partitioned(x, y, &self.pool, &self.p_part)?;
         for (yi, &xi) in y.iter_mut().zip(x) {
             *yi += self.sigma * xi;
         }
-        // tmp = rho .* (A x); y += At tmp
-        self.a.spmv(x, &mut self.tmp_m)?;
+        // tmp = rho .* (A x); y += At tmp — both gather SpMVs.
+        self.a.spmv_partitioned(x, &mut self.tmp_m, &self.pool, &self.a_part)?;
         for (t, &r) in self.tmp_m.iter_mut().zip(&self.rho) {
             *t *= r;
         }
-        self.at.spmv_acc(1.0, &self.tmp_m, y)?;
+        self.at.matrix().spmv_acc_partitioned(1.0, &self.tmp_m, y, &self.pool, &self.at_part)?;
         self.spmv_count += 3;
         Ok(())
     }
 
     fn precond_diag(&self) -> Option<Vec<f64>> {
         Some(self.jacobi_diag())
+    }
+
+    fn precond_diag_into(&self, out: &mut [f64]) -> bool {
+        self.jacobi_diag_into(out);
+        true
     }
 }
 
@@ -332,10 +461,9 @@ mod tests {
     #[test]
     fn reduced_op_matches_dense() {
         let (p, a) = small_problem();
-        let at = a.transpose();
         let rho = vec![0.1, 0.2, 0.4];
         let sigma = 0.01;
-        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
+        let mut op = ReducedKktOp::new(&p, &a, sigma, &rho).unwrap();
         let x = [1.0, 2.0];
         let mut y = vec![0.0; 2];
         op.apply(&x, &mut y).unwrap();
@@ -352,10 +480,9 @@ mod tests {
     #[test]
     fn jacobi_diag_matches_dense_diagonal() {
         let (p, a) = small_problem();
-        let at = a.transpose();
         let rho = vec![0.1, 0.2, 0.4];
         let sigma = 0.01;
-        let op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
+        let op = ReducedKktOp::new(&p, &a, sigma, &rho).unwrap();
         let d = op.jacobi_diag();
         assert!((d[0] - (4.0 + sigma + 0.1 + 0.4)).abs() < 1e-12);
         assert!((d[1] - (2.0 + sigma + 0.2 + 0.4)).abs() < 1e-12);
@@ -364,8 +491,7 @@ mod tests {
     #[test]
     fn update_rho_changes_operator() {
         let (p, a) = small_problem();
-        let at = a.transpose();
-        let mut op = ReducedKktOp::new(&p, &a, &at, 0.0, &[1.0, 1.0, 1.0]).unwrap();
+        let mut op = ReducedKktOp::new(&p, &a, 0.0, &[1.0, 1.0, 1.0]).unwrap();
         let mut y1 = vec![0.0; 2];
         op.apply(&[1.0, 0.0], &mut y1).unwrap();
         op.update_rho(&[2.0, 2.0, 2.0]).unwrap();

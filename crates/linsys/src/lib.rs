@@ -33,8 +33,7 @@
 //! let mut rhs = vec![1.0, 1.0, 0.0];
 //! ldlt.solve_in_place(&mut rhs)?;
 //!
-//! let at = a.transpose();
-//! let mut op = ReducedKktOp::new(&p, &a, &at, 1e-6, &rho)?;
+//! let mut op = ReducedKktOp::new(&p, &a, 1e-6, &rho)?;
 //! let b = vec![1.0, 1.0];
 //! let sol = pcg(&mut op, &b, &vec![0.0; 2], &PcgSettings::default())?;
 //! assert!((sol.x[0] - rhs[0]).abs() < 1e-6);
@@ -55,4 +54,5 @@ pub use error::LinsysError;
 pub use kkt::{KktMatrix, ReducedKktOp};
 pub use ldlt::Ldlt;
 pub use ordering::{inverse_permutation, min_degree_ordering, rcm_ordering, SymmetricPermutation};
-pub use pcg::{pcg, LinearOperator, PcgError, PcgResult, PcgSettings};
+pub use pcg::{pcg, pcg_with, LinearOperator, PcgError, PcgResult, PcgSettings};
+pub use pcg::{PcgSummary, PcgWorkspace};

@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use rsqp_par::ThreadPool;
 use rsqp_sparse::vec_ops;
 
 use crate::LinsysError;
@@ -34,6 +35,22 @@ pub trait LinearOperator {
     /// disables preconditioning (`M = I`).
     fn precond_diag(&self) -> Option<Vec<f64>> {
         None
+    }
+
+    /// Writes the preconditioner diagonal into `out` (length [`Self::dim`])
+    /// and returns `true`, or returns `false` to disable preconditioning.
+    ///
+    /// The default forwards to [`Self::precond_diag`], which allocates;
+    /// operators used on the solver hot path should override this so a
+    /// workspace-based solve ([`pcg_with`]) stays allocation-free.
+    fn precond_diag_into(&self, out: &mut [f64]) -> bool {
+        match self.precond_diag() {
+            Some(d) => {
+                out.copy_from_slice(&d);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -125,6 +142,62 @@ pub struct PcgResult {
     pub converged: bool,
 }
 
+/// Iteration summary of an in-place [`pcg_with`] solve. The iterate itself
+/// is returned through the `x` argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcgSummary {
+    /// Number of iterations performed (operator applications minus one).
+    pub iterations: usize,
+    /// Final residual 2-norm `‖K x − b‖₂`.
+    pub residual: f64,
+    /// Whether the tolerance was met within `max_iter`.
+    pub converged: bool,
+}
+
+/// Reusable scratch space for [`pcg_with`]: the residual, preconditioned
+/// residual, search direction, operator output, and preconditioner inverse.
+///
+/// Allocate once per KKT backend and reuse across solves; a solve against
+/// an operator of the same dimension performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct PcgWorkspace {
+    r: Vec<f64>,
+    d: Vec<f64>,
+    p: Vec<f64>,
+    kp: Vec<f64>,
+    minv: Vec<f64>,
+}
+
+impl PcgWorkspace {
+    /// Workspace sized for an operator of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        PcgWorkspace {
+            r: vec![0.0; n],
+            d: vec![0.0; n],
+            p: vec![0.0; n],
+            kp: vec![0.0; n],
+            minv: vec![0.0; n],
+        }
+    }
+
+    /// Current workspace dimension.
+    pub fn dim(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Grows or shrinks the buffers to dimension `n` (no-op when already
+    /// that size).
+    pub fn resize(&mut self, n: usize) {
+        if self.r.len() != n {
+            self.r.resize(n, 0.0);
+            self.d.resize(n, 0.0);
+            self.p.resize(n, 0.0);
+            self.kp.resize(n, 0.0);
+            self.minv.resize(n, 0.0);
+        }
+    }
+}
+
 /// Solves `K x = b` with the Preconditioned Conjugate Gradient method,
 /// warm-started at `x0`.
 ///
@@ -146,6 +219,42 @@ pub fn pcg(
     x0: &[f64],
     settings: &PcgSettings,
 ) -> Result<PcgResult, PcgError> {
+    let mut x = x0.to_vec();
+    let mut ws = PcgWorkspace::new(op.dim());
+    let summary = pcg_with(op, b, &mut x, settings, &mut ws, None)?;
+    Ok(PcgResult {
+        x,
+        iterations: summary.iterations,
+        residual: summary.residual,
+        converged: summary.converged,
+    })
+}
+
+/// Solves `K x = b` in place, warm-started at the incoming value of `x`,
+/// reusing `ws` for every intermediate vector.
+///
+/// This is the allocation-free core of [`pcg`]: with a correctly sized
+/// workspace (and an operator overriding
+/// [`LinearOperator::precond_diag_into`]) it performs **zero heap
+/// allocations**, which is what lets the ADMM steady state run
+/// allocation-free. With `pool = Some(_)`, dot products, norms and vector
+/// updates run on the pool; results are bit-identical across pool sizes
+/// (see `rsqp-par`'s determinism contract), though reductions on large
+/// systems regroup differently from the serial path.
+///
+/// # Errors
+///
+/// Same conditions as [`pcg`]. Unlike [`pcg`], on error `x` may hold a
+/// partially updated iterate — callers must treat their own copy as the
+/// last good state (the solver's guard ladder already does).
+pub fn pcg_with(
+    op: &mut dyn LinearOperator,
+    b: &[f64],
+    x: &mut [f64],
+    settings: &PcgSettings,
+    ws: &mut PcgWorkspace,
+    pool: Option<&ThreadPool>,
+) -> Result<PcgSummary, PcgError> {
     let n = op.dim();
     if b.len() != n {
         return Err(PcgError::Operator(LinsysError::Dimension(format!(
@@ -153,49 +262,59 @@ pub fn pcg(
             b.len()
         ))));
     }
-    if x0.len() != n {
+    if x.len() != n {
         return Err(PcgError::Operator(LinsysError::Dimension(format!(
             "warm-start length {} does not match operator dimension {n}",
-            x0.len()
+            x.len()
         ))));
     }
+    ws.resize(n);
 
-    let minv: Option<Vec<f64>> = op
-        .precond_diag()
-        .map(|d| d.iter().map(|&v| if v != 0.0 { 1.0 / v } else { 1.0 }).collect());
-    let apply_precond = |r: &[f64], d: &mut [f64]| match &minv {
-        Some(mi) => vec_ops::ew_mul(r, mi, d),
-        None => d.copy_from_slice(r),
+    let dotf = |a: &[f64], c: &[f64]| match pool {
+        Some(pl) => vec_ops::dot_par(a, c, pl),
+        None => vec_ops::dot(a, c),
+    };
+    let norm2f = |v: &[f64]| match pool {
+        Some(pl) => vec_ops::norm2_par(v, pl),
+        None => vec_ops::norm2(v),
     };
 
-    let norm_b = vec_ops::norm2(b);
+    let has_pre = op.precond_diag_into(&mut ws.minv);
+    if has_pre {
+        for v in &mut ws.minv {
+            *v = if *v != 0.0 { 1.0 / *v } else { 1.0 };
+        }
+    }
+
+    let norm_b = norm2f(b);
     if !norm_b.is_finite() {
         return Err(PcgError::NonFinite { iteration: 0, quantity: "rhs norm" });
     }
     let tol = (settings.eps * norm_b).max(settings.eps_abs);
 
-    let mut x = x0.to_vec();
-    let mut r = vec![0.0; n];
-    let mut d = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut kp = vec![0.0; n];
-
     // r0 = K x0 - b
-    op.apply(&x, &mut r)?;
-    vec_ops::axpy(-1.0, b, &mut r);
-    let mut res_norm = vec_ops::norm2(&r);
+    op.apply(x, &mut ws.r)?;
+    match pool {
+        Some(pl) => vec_ops::axpy_par(-1.0, b, &mut ws.r, pl),
+        None => vec_ops::axpy(-1.0, b, &mut ws.r),
+    }
+    let mut res_norm = norm2f(&ws.r);
     if !res_norm.is_finite() {
         return Err(PcgError::NonFinite { iteration: 0, quantity: "residual norm" });
     }
     if res_norm <= tol {
-        return Ok(PcgResult { x, iterations: 0, residual: res_norm, converged: true });
+        return Ok(PcgSummary { iterations: 0, residual: res_norm, converged: true });
     }
     // d0 = M^{-1} r0 ; p0 = -d0
-    apply_precond(&r, &mut d);
-    for (pi, &di) in p.iter_mut().zip(&d) {
+    if has_pre {
+        vec_ops::ew_mul(&ws.r, &ws.minv, &mut ws.d);
+    } else {
+        ws.d.copy_from_slice(&ws.r);
+    }
+    for (pi, &di) in ws.p.iter_mut().zip(&ws.d) {
         *pi = -di;
     }
-    let mut delta = vec_ops::dot(&r, &d);
+    let mut delta = dotf(&ws.r, &ws.d);
     if !delta.is_finite() {
         return Err(PcgError::NonFinite { iteration: 0, quantity: "preconditioned residual" });
     }
@@ -207,8 +326,8 @@ pub fn pcg(
     let mut converged = false;
     while iterations < settings.max_iter {
         iterations += 1;
-        op.apply(&p, &mut kp)?;
-        let pkp = vec_ops::dot(&p, &kp);
+        op.apply(&ws.p, &mut ws.kp)?;
+        let pkp = dotf(&ws.p, &ws.kp);
         if !pkp.is_finite() {
             return Err(PcgError::NonFinite {
                 iteration: iterations, quantity: "curvature pᵀKp"
@@ -221,9 +340,17 @@ pub fn pcg(
         if !lambda.is_finite() {
             return Err(PcgError::NonFinite { iteration: iterations, quantity: "step length α" });
         }
-        vec_ops::axpy(lambda, &p, &mut x);
-        vec_ops::axpy(lambda, &kp, &mut r);
-        res_norm = vec_ops::norm2(&r);
+        match pool {
+            Some(pl) => {
+                vec_ops::axpy_par(lambda, &ws.p, x, pl);
+                vec_ops::axpy_par(lambda, &ws.kp, &mut ws.r, pl);
+            }
+            None => {
+                vec_ops::axpy(lambda, &ws.p, x);
+                vec_ops::axpy(lambda, &ws.kp, &mut ws.r);
+            }
+        }
+        res_norm = norm2f(&ws.r);
         if !res_norm.is_finite() {
             return Err(PcgError::NonFinite { iteration: iterations, quantity: "residual norm" });
         }
@@ -231,8 +358,12 @@ pub fn pcg(
             converged = true;
             break;
         }
-        apply_precond(&r, &mut d);
-        let delta_new = vec_ops::dot(&r, &d);
+        if has_pre {
+            vec_ops::ew_mul(&ws.r, &ws.minv, &mut ws.d);
+        } else {
+            ws.d.copy_from_slice(&ws.r);
+        }
+        let delta_new = dotf(&ws.r, &ws.d);
         if !delta_new.is_finite() {
             return Err(PcgError::NonFinite {
                 iteration: iterations,
@@ -244,11 +375,17 @@ pub fn pcg(
         }
         let mu = delta_new / delta;
         delta = delta_new;
-        for (pi, &di) in p.iter_mut().zip(&d) {
-            *pi = mu * *pi - di;
+        // p = μp − d
+        match pool {
+            Some(pl) => vec_ops::lincomb_par(-1.0, &ws.d, mu, &mut ws.p, pl),
+            None => {
+                for (pi, &di) in ws.p.iter_mut().zip(&ws.d) {
+                    *pi = mu * *pi - di;
+                }
+            }
         }
     }
-    Ok(PcgResult { x, iterations, residual: res_norm, converged })
+    Ok(PcgSummary { iterations, residual: res_norm, converged })
 }
 
 #[cfg(test)]

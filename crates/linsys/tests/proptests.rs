@@ -90,7 +90,7 @@ proptest! {
         let mut reduced_b = b1.clone();
         let scaled: Vec<f64> = b2.iter().zip(&rho).map(|(v, r)| v * r).collect();
         at.spmv_acc(1.0, &scaled, &mut reduced_b).unwrap();
-        let mut op = ReducedKktOp::new(&p, &a, &at, sigma, &rho).unwrap();
+        let mut op = ReducedKktOp::new(&p, &a, sigma, &rho).unwrap();
         let sol = pcg(
             &mut op,
             &reduced_b,

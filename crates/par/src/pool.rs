@@ -1,0 +1,319 @@
+//! The reusable worker pool and its allocation-free dispatch protocol.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the closure of the active parallel region.
+///
+/// The pointee lives on the stack of the thread inside [`ThreadPool::run`];
+/// `run` does not return until every worker that entered the region has
+/// left it again (`active == 0`), so the pointer never dangles while a
+/// worker holds it.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync`, so calling it from several threads at once
+// is fine, and the region protocol above keeps it alive while shared.
+unsafe impl Send for TaskPtr {}
+
+struct Dispatch {
+    /// Region counter; an increment (with `task` set) wakes the workers.
+    generation: u64,
+    /// Chunk count of the active region.
+    nchunks: usize,
+    /// The active region's closure; `None` while no region is open.
+    task: Option<TaskPtr>,
+    /// Number of workers currently inside the active region.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<Dispatch>,
+    /// Wakes workers when a region opens (or shutdown is requested).
+    start: Condvar,
+    /// Wakes the caller when the last worker leaves the region.
+    done: Condvar,
+    /// Next unclaimed chunk index of the active region.
+    next: AtomicUsize,
+    /// Set when a chunk panicked on a worker; re-raised by the caller.
+    panicked: AtomicBool,
+}
+
+fn lock(m: &Mutex<Dispatch>) -> MutexGuard<'_, Dispatch> {
+    // Workers run user closures under catch_unwind and never panic while
+    // holding the lock, but survive poisoning anyway.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A reusable pool of worker threads executing indexed chunk tasks.
+///
+/// The calling thread always participates in the work, so a pool of
+/// `threads` runs a region on up to `threads` threads using `threads - 1`
+/// workers; [`ThreadPool::serial`] (or `new(1)`) has no workers at all and
+/// runs every region inline. Chunks are claimed dynamically from a shared
+/// counter, but which thread runs a chunk never affects results — see the
+/// crate-level determinism contract.
+///
+/// Regions are serialized per pool: concurrent [`ThreadPool::run`] calls
+/// from different threads queue up rather than interleave.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Serializes `run` so at most one region is open per pool.
+    region: Mutex<()>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.threads).finish_non_exhaustive()
+    }
+}
+
+/// Available hardware parallelism (1 when it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs regions on up to `threads` threads
+    /// (`threads - 1` spawned workers plus the caller). `threads == 0` is
+    /// treated as 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Dispatch {
+                generation: 0,
+                nchunks: 0,
+                task: None,
+                active: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rsqp-par-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        ThreadPool { shared, region: Mutex::new(()), workers, threads }
+    }
+
+    /// A pool with no workers: every region runs inline on the caller.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Thread count this pool runs regions on (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `true` when the pool has no workers and runs everything inline.
+    pub fn is_serial(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Runs `f(chunk_index)` for every index in `0..nchunks`, spread over
+    /// the pool. Returns once every chunk has finished. With no workers or
+    /// a single chunk the calls happen inline, in order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f`. When the panicking chunk ran on a worker
+    /// the original payload is lost and a generic message is raised; the
+    /// remaining chunks still complete first, so the pool stays usable.
+    pub fn run(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if nchunks == 0 {
+            return;
+        }
+        if self.workers.is_empty() || nchunks == 1 {
+            for i in 0..nchunks {
+                f(i);
+            }
+            return;
+        }
+        let region = self.region.lock().unwrap_or_else(PoisonError::into_inner);
+
+        // Erase the borrow's lifetime so the pointer fits the inline task
+        // slot. SAFETY: the pointee outlives the region because this
+        // function does not return before `active` drops to zero below.
+        let ptr = TaskPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        {
+            let mut st = lock(&self.shared.state);
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.task = Some(ptr);
+            st.nchunks = nchunks;
+            st.generation = st.generation.wrapping_add(1);
+        }
+        self.shared.start.notify_all();
+
+        // The caller participates instead of blocking idle.
+        let caller = catch_unwind(AssertUnwindSafe(|| loop {
+            let idx = self.shared.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= nchunks {
+                break;
+            }
+            f(idx);
+        }));
+
+        // Close the region and wait until every worker that entered it has
+        // left; after this no thread holds the task pointer.
+        {
+            let mut st = lock(&self.shared.state);
+            st.task = None;
+            while st.active != 0 {
+                st = self.shared.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        drop(region);
+
+        if let Err(payload) = caller {
+            self.shared.panicked.store(false, Ordering::Relaxed);
+            resume_unwind(payload);
+        }
+        if self.shared.panicked.swap(false, Ordering::Relaxed) {
+            panic!("rsqp-par: a parallel task panicked on a worker thread");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let (task, nchunks, generation) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    if let Some(task) = st.task {
+                        // Enter the region while it is provably open (task
+                        // still set, under the lock): the caller cannot
+                        // return before `active` drops back to zero.
+                        st.active += 1;
+                        break (task, st.nchunks, st.generation);
+                    }
+                    // Woke up after the region already closed; skip it so a
+                    // stale generation never claims chunks of a later one.
+                    seen = st.generation;
+                }
+                st = shared.start.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        seen = generation;
+
+        // SAFETY: `active` was incremented under the lock while the region
+        // was open, so the closure outlives this whole claim loop.
+        let f = unsafe { &*task.0 };
+        loop {
+            let idx = shared.next.fetch_add(1, Ordering::Relaxed);
+            if idx >= nchunks {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| f(idx))).is_err() {
+                shared.panicked.store(true, Ordering::Relaxed);
+            }
+        }
+
+        let mut st = lock(&shared.state);
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn serial_pool_runs_inline_in_order() {
+        let pool = ThreadPool::serial();
+        let order = Mutex::new(Vec::new());
+        pool.run(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert!(pool.is_serial());
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn all_chunks_run_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for nchunks in [1usize, 2, 3, 7, 64, 257] {
+            let hits: Vec<AtomicUsize> = (0..nchunks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(nchunks, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {i} of {nchunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_regions() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.run(8, &|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still work after the panic.
+        let count = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        let pool = ThreadPool::new(2);
+        pool.run(0, &|_| panic!("must not run"));
+    }
+}

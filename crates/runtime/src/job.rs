@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rsqp_solver::{
@@ -65,8 +66,10 @@ impl JobBudget {
 /// One unit of work for the [`SolveService`](crate::SolveService): a
 /// problem, how to solve it, and how much it may cost.
 pub struct JobSpec {
-    /// The problem to solve.
-    pub problem: QpProblem,
+    /// The problem to solve, behind an `Arc` so retries, resumes, and the
+    /// solvers they build all share one copy of the matrices instead of
+    /// deep-copying them per attempt.
+    pub problem: Arc<QpProblem>,
     /// Solver settings for the first attempt (retries may degrade them).
     pub settings: Settings,
     /// Resource budget.
@@ -83,9 +86,11 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A job with default settings, no budget, and the default retry ladder.
-    pub fn new(problem: QpProblem) -> Self {
+    /// Accepts either an owned [`QpProblem`] or a pre-shared
+    /// `Arc<QpProblem>`.
+    pub fn new(problem: impl Into<Arc<QpProblem>>) -> Self {
         JobSpec {
-            problem,
+            problem: problem.into(),
             settings: Settings::default(),
             budget: JobBudget::default(),
             retry: RetryPolicy::default(),

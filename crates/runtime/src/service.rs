@@ -26,12 +26,23 @@ pub struct ServiceConfig {
     /// [`SubmitError::QueueFull`] — explicit backpressure instead of
     /// unbounded memory growth.
     pub queue_capacity: usize,
+    /// Kernel threads each worker grants a solver whose
+    /// `Settings::threads` is `0` (auto). `None` leaves auto-resolution to
+    /// the solver (one pool per core — oversubscribed when several workers
+    /// solve at once); the default splits the host cores across the
+    /// workers. Explicit `Settings::threads >= 1` always wins.
+    pub kernel_threads: Option<usize>,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        let workers = thread::available_parallelism().map_or(4, |p| p.get()).min(8);
-        ServiceConfig { workers, queue_capacity: 64 }
+        let cores = thread::available_parallelism().map_or(4, |p| p.get());
+        let workers = cores.min(8);
+        ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            kernel_threads: Some((cores / workers).max(1)),
+        }
     }
 }
 
@@ -130,12 +141,13 @@ impl SolveService {
         let capacity = config.queue_capacity.max(1);
         let (tx, rx) = mpsc::sync_channel::<QueuedJob>(capacity);
         let rx = Arc::new(Mutex::new(rx));
+        let kernel_threads = config.kernel_threads;
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 thread::Builder::new()
                     .name(format!("rsqp-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, kernel_threads))
                     .expect("spawning a worker thread")
             })
             .collect();
@@ -207,21 +219,34 @@ impl Drop for SolveService {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<QueuedJob>>>) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<QueuedJob>>>, kernel_threads: Option<usize>) {
     loop {
         // Hold the lock only to dequeue, never while solving. A poisoned
         // lock cannot happen (recv does not panic) but is survived anyway.
         let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
         let Ok(job) = job else { break };
-        let report = run_job(job.id, job.spec, &job.cancel, job.deadline);
+        let report = run_job(job.id, job.spec, &job.cancel, job.deadline, kernel_threads);
         // The submitter may have dropped the handle; that is not an error.
         let _ = job.result_tx.send(report);
     }
 }
 
 /// Drives one job through the retry ladder to a definite report.
-fn run_job(id: u64, spec: JobSpec, cancel: &CancelToken, deadline: Option<Instant>) -> JobReport {
+fn run_job(
+    id: u64,
+    spec: JobSpec,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+    kernel_threads: Option<usize>,
+) -> JobReport {
     let JobSpec { problem, mut settings, budget, retry, resume_from, mut factory } = spec;
+    // Resolve an "auto" kernel-thread request to the service's per-worker
+    // share of the host, so concurrent solves never oversubscribe it.
+    if settings.threads == 0 {
+        if let Some(t) = kernel_threads {
+            settings.threads = t.max(1);
+        }
+    }
     let n = problem.num_vars();
     let m = problem.num_constraints();
     let mut attempts: Vec<AttemptSummary> = Vec::new();
@@ -247,8 +272,10 @@ fn run_job(id: u64, spec: JobSpec, cancel: &CancelToken, deadline: Option<Instan
         let attempt_result: Result<Result<AttemptOk, SolverError>, _> =
             catch_unwind(AssertUnwindSafe(|| {
                 let mut solver = match factory.as_mut() {
-                    Some(f) => Solver::with_backend(&problem, settings.clone(), f)?,
-                    None => Solver::new(&problem, settings.clone())?,
+                    Some(f) => {
+                        Solver::with_backend_shared(Arc::clone(&problem), settings.clone(), f)?
+                    }
+                    None => Solver::new_shared(Arc::clone(&problem), settings.clone())?,
                 };
                 if let Some(ckpt) = &last_ckpt {
                     solver.restore(ckpt)?;

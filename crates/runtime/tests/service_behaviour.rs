@@ -61,7 +61,8 @@ fn endless_settings() -> Settings {
 
 #[test]
 fn a_batch_of_jobs_all_solve() {
-    let service = SolveService::new(ServiceConfig { workers: 4, queue_capacity: 32 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 4, queue_capacity: 32, ..Default::default() });
     let handles: Vec<_> = (0..16)
         .map(|i| service.submit(JobSpec::new(box_qp(2 + i % 5))).expect("queue has room"))
         .collect();
@@ -74,7 +75,8 @@ fn a_batch_of_jobs_all_solve() {
 
 #[test]
 fn queue_full_is_explicit_backpressure() {
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 1 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 1, ..Default::default() });
     // Gate the single worker inside a backend factory so the queue state is
     // deterministic: one job running (blocked), one queued, the next must
     // be rejected.
@@ -109,7 +111,8 @@ fn queue_full_is_explicit_backpressure() {
 
 #[test]
 fn cancellation_mid_solve_returns_promptly_with_definite_status() {
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4, ..Default::default() });
     let spec = JobSpec::new(endless_problem()).with_settings(endless_settings());
     let handle = service.submit(spec).expect("queue has room");
     std::thread::sleep(Duration::from_millis(40));
@@ -124,7 +127,8 @@ fn cancellation_mid_solve_returns_promptly_with_definite_status() {
 
 #[test]
 fn deadline_budget_yields_time_limit_status() {
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4, ..Default::default() });
     let spec = JobSpec::new(endless_problem())
         .with_settings(endless_settings())
         .with_budget(JobBudget::unbounded().with_timeout(Duration::from_millis(30)));
@@ -135,7 +139,8 @@ fn deadline_budget_yields_time_limit_status() {
 
 #[test]
 fn iteration_cap_budget_is_enforced() {
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4, ..Default::default() });
     let spec = JobSpec::new(endless_problem())
         .with_settings(endless_settings())
         .with_budget(JobBudget::unbounded().with_iter_cap(7))
@@ -149,7 +154,8 @@ fn iteration_cap_budget_is_enforced() {
 #[test]
 fn panicking_backend_is_isolated_and_ladder_recovers() {
     quiet_injected_panics();
-    let service = SolveService::new(ServiceConfig { workers: 2, queue_capacity: 8 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 2, queue_capacity: 8, ..Default::default() });
     // Every chaos-wrapped KKT solve panics; the ladder's direct-fallback
     // rung (retry 2) drops the factory and the job still solves.
     let spec = JobSpec::new(box_qp(4)).with_backend_factory(Box::new(|p, a, sigma, rho, s| {
@@ -166,7 +172,8 @@ fn panicking_backend_is_isolated_and_ladder_recovers() {
 #[test]
 fn exhausted_ladder_reports_panicked_and_worker_survives() {
     quiet_injected_panics();
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 8 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 8, ..Default::default() });
     let spec = JobSpec::new(box_qp(4)).with_retry(RetryPolicy::no_retries()).with_backend_factory(
         Box::new(|p, a, sigma, rho, s| {
             let inner = Box::new(CpuPcgBackend::new(p, a, sigma, rho, 1e-7, s.cg_max_iter));
@@ -185,7 +192,8 @@ fn exhausted_ladder_reports_panicked_and_worker_survives() {
 
 #[test]
 fn injected_backend_errors_ride_the_guard_and_retry_ladders() {
-    let service = SolveService::new(ServiceConfig { workers: 2, queue_capacity: 8 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 2, queue_capacity: 8, ..Default::default() });
     // A high error rate defeats the in-solve guard ladder eventually, but
     // the runtime ladder's direct fallback (which drops the chaos wrapper
     // with the factory) always lands the job.
@@ -199,7 +207,8 @@ fn injected_backend_errors_ride_the_guard_and_retry_ladders() {
 
 #[test]
 fn shutdown_completes_queued_jobs() {
-    let service = SolveService::new(ServiceConfig { workers: 2, queue_capacity: 16 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 2, queue_capacity: 16, ..Default::default() });
     let handles: Vec<_> =
         (0..6).map(|_| service.submit(JobSpec::new(box_qp(3))).expect("room")).collect();
     service.shutdown();
@@ -210,16 +219,22 @@ fn shutdown_completes_queued_jobs() {
 
 #[test]
 fn submitting_after_shutdown_is_rejected() {
-    let mut service = Some(SolveService::new(ServiceConfig { workers: 1, queue_capacity: 2 }));
+    let mut service = Some(SolveService::new(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..Default::default()
+    }));
     service.take().unwrap().shutdown();
     // A fresh service is needed per handle; this checks the drop path too.
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 2 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 2, ..Default::default() });
     drop(service); // Drop joins workers without deadlock.
 }
 
 #[test]
 fn checkpointed_resume_flows_through_the_service() {
-    let service = SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4 });
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4, ..Default::default() });
     let problem = box_qp(6);
     let settings = Settings {
         eps_abs: 1e-9,

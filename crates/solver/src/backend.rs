@@ -11,10 +11,13 @@
 //! * `rsqp-core` provides a third implementation that runs the PCG
 //!   instruction stream through the cycle-level architecture simulator.
 
+use std::sync::Arc;
+
 use rsqp_linsys::{
-    min_degree_ordering, pcg, rcm_ordering, KktMatrix, Ldlt, PcgSettings, ReducedKktOp,
-    SymmetricPermutation,
+    min_degree_ordering, pcg_with, rcm_ordering, KktMatrix, Ldlt, PcgSettings, PcgWorkspace,
+    ReducedKktOp, SymmetricPermutation,
 };
+use rsqp_par::ThreadPool;
 use rsqp_sparse::CsrMatrix;
 
 use crate::settings::KktOrdering;
@@ -254,24 +257,34 @@ impl KktBackend for DirectLdltBackend {
 }
 
 /// Matrix-free PCG backend on the reduced KKT system (Eq. 3).
+///
+/// The backend owns its [`ReducedKktOp`] (with the cached gather transpose
+/// `Aᵀ`), a [`PcgWorkspace`], and the right-hand-side buffers for the whole
+/// solver lifetime, so steady-state ADMM iterations perform **zero heap
+/// allocations**. All SpMVs and the PCG reductions dispatch on the backend's
+/// thread pool; results are bit-identical for any pool size.
 #[derive(Debug)]
 pub struct CpuPcgBackend {
-    p: CsrMatrix,
-    a: CsrMatrix,
-    at: CsrMatrix,
+    op: ReducedKktOp,
+    pool: Arc<ThreadPool>,
     sigma: f64,
-    rho: Vec<f64>,
     eps: f64,
     max_iter: usize,
     tmp_m: Vec<f64>,
     rhs: Vec<f64>,
+    ws: PcgWorkspace,
     stats: BackendStats,
 }
 
 impl CpuPcgBackend {
-    /// Creates the backend, cloning the (scaled) problem matrices — the
-    /// indirect method stores `P`, `A`, and `Aᵀ` separately, exactly as the
-    /// paper's accelerator does (§2.2).
+    /// Creates a strictly serial backend, cloning the (scaled) problem
+    /// matrices — the indirect method stores `P`, `A`, and `Aᵀ` separately,
+    /// exactly as the paper's accelerator does (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes and ρ length are inconsistent (callers
+    /// construct it from an already-validated [`crate::QpProblem`]).
     pub fn new(
         p: &CsrMatrix,
         a: &CsrMatrix,
@@ -280,16 +293,42 @@ impl CpuPcgBackend {
         eps: f64,
         max_iter: usize,
     ) -> Self {
-        CpuPcgBackend {
-            p: p.clone(),
-            a: a.clone(),
-            at: a.transpose(),
+        Self::with_threads(p, a, sigma, rho, eps, max_iter, 1)
+    }
+
+    /// Like [`CpuPcgBackend::new`], but dispatching all kernels on a pool of
+    /// `threads` worker threads (`1` = serial, no pool spawned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes and ρ length are inconsistent.
+    pub fn with_threads(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        eps: f64,
+        max_iter: usize,
+        threads: usize,
+    ) -> Self {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let op = ReducedKktOp::with_pool(
+            Arc::new(p.clone()),
+            Arc::new(a.clone()),
             sigma,
-            rho: rho.to_vec(),
+            rho,
+            Arc::clone(&pool),
+        )
+        .expect("consistent problem shapes");
+        CpuPcgBackend {
+            op,
+            pool,
+            sigma,
             eps,
             max_iter,
             tmp_m: vec![0.0; a.nrows()],
             rhs: vec![0.0; p.nrows()],
+            ws: PcgWorkspace::new(p.nrows()),
             stats: BackendStats::default(),
         }
     }
@@ -297,6 +336,11 @@ impl CpuPcgBackend {
     /// Current inner tolerance.
     pub fn cg_tolerance(&self) -> f64 {
         self.eps
+    }
+
+    /// Worker threads the backend's kernels dispatch on.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 }
 
@@ -306,11 +350,10 @@ impl KktBackend for CpuPcgBackend {
     }
 
     fn update_rho(&mut self, rho: &[f64]) -> Result<(), SolverError> {
-        if rho.len() != self.rho.len() {
+        if rho.len() != self.op.rho().len() {
             return Err(SolverError::Backend("rho length changed".into()));
         }
-        self.rho.copy_from_slice(rho);
-        Ok(())
+        self.op.update_rho(rho).map_err(SolverError::Linsys)
     }
 
     fn set_cg_tolerance(&mut self, eps: f64) {
@@ -326,27 +369,35 @@ impl KktBackend for CpuPcgBackend {
         xtilde: &mut [f64],
         ztilde: &mut [f64],
     ) -> Result<(), SolverError> {
+        let count0 = self.op.spmv_count();
         // rhs = σx − q + Aᵀ(ρ∘z − y)
+        let rho = self.op.rho();
         for i in 0..self.tmp_m.len() {
-            self.tmp_m[i] = self.rho[i] * z[i] - y[i];
+            self.tmp_m[i] = rho[i] * z[i] - y[i];
         }
         for j in 0..self.rhs.len() {
             self.rhs[j] = self.sigma * x[j] - q[j];
         }
-        self.at.spmv_acc(1.0, &self.tmp_m, &mut self.rhs)?;
+        self.op.at_spmv_acc(1.0, &self.tmp_m, &mut self.rhs)?;
 
-        let mut op = ReducedKktOp::new(&self.p, &self.a, &self.at, self.sigma, &self.rho)
-            .map_err(SolverError::Linsys)?;
         let settings = PcgSettings { eps: self.eps, eps_abs: 1e-15, max_iter: self.max_iter };
-        let sol = pcg(&mut op, &self.rhs, x, &settings);
-        self.stats.spmv_evals += op.spmv_count() + 2;
-        let sol = sol?;
-        self.stats.cg_iterations += sol.iterations;
-        xtilde.copy_from_slice(&sol.x);
-        // z̃ = A x̃
-        self.a.spmv(xtilde, ztilde)?;
-        self.stats.kkt_solves += 1;
-        Ok(())
+        xtilde.copy_from_slice(x);
+        let summary =
+            pcg_with(&mut self.op, &self.rhs, xtilde, &settings, &mut self.ws, Some(&self.pool));
+        match summary {
+            Ok(s) => {
+                self.stats.cg_iterations += s.iterations;
+                // z̃ = A x̃
+                self.op.a_spmv(xtilde, ztilde)?;
+                self.stats.spmv_evals += self.op.spmv_count() - count0;
+                self.stats.kkt_solves += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.spmv_evals += self.op.spmv_count() - count0;
+                Err(e.into())
+            }
+        }
     }
 
     fn update_matrices(
@@ -355,14 +406,7 @@ impl KktBackend for CpuPcgBackend {
         a: &CsrMatrix,
         rho: &[f64],
     ) -> Result<(), SolverError> {
-        if p.nrows() != self.p.nrows() || a.nrows() != self.a.nrows() {
-            return Err(SolverError::Backend("matrix update changed shapes".into()));
-        }
-        self.p = p.clone();
-        self.a = a.clone();
-        self.at = a.transpose();
-        self.rho.copy_from_slice(rho);
-        Ok(())
+        self.op.update_values(p, a, rho).map_err(SolverError::Linsys)
     }
 
     fn stats(&self) -> BackendStats {

@@ -60,6 +60,7 @@ mod settings;
 mod solver;
 mod status;
 mod termination;
+mod workspace;
 
 pub use backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
 pub use checkpoint::Checkpoint;

@@ -51,17 +51,20 @@ impl RhoManager {
         mgr
     }
 
+    /// Re-derives the ρ and 1/ρ vectors from the current ρ̄ and kinds,
+    /// reusing the existing buffers (adaptive updates run mid-solve on the
+    /// allocation-free hot path; only a bounds update may resize).
     fn rebuild(&mut self) {
-        self.rho_vec = self
-            .kinds
-            .iter()
-            .map(|k| match k {
+        self.rho_vec.resize(self.kinds.len(), 0.0);
+        self.rho_inv_vec.resize(self.kinds.len(), 0.0);
+        for ((r, ri), k) in self.rho_vec.iter_mut().zip(&mut self.rho_inv_vec).zip(&self.kinds) {
+            *r = match k {
                 ConstraintKind::Equality => (RHO_EQ_FACTOR * self.rho_bar).clamp(RHO_MIN, RHO_MAX),
                 ConstraintKind::Inequality => self.rho_bar,
                 ConstraintKind::Loose => RHO_MIN,
-            })
-            .collect();
-        self.rho_inv_vec = self.rho_vec.iter().map(|&r| 1.0 / r).collect();
+            };
+            *ri = 1.0 / *r;
+        }
     }
 
     /// Re-derives constraint kinds after a bounds update.

@@ -97,6 +97,11 @@ pub struct Settings {
     pub time_limit: Option<std::time::Duration>,
     /// Numerical-guard and recovery-ladder configuration.
     pub guard: GuardSettings,
+    /// Worker threads for the parallel CPU kernels used by PCG-style
+    /// backends (`0` = auto-detect from the host, capped at 8; `1` =
+    /// strictly serial). Results are bit-identical regardless of the value —
+    /// see the determinism contract in `rsqp-par`.
+    pub threads: usize,
 }
 
 impl Default for Settings {
@@ -124,11 +129,22 @@ impl Default for Settings {
             polish_refine_iters: 3,
             time_limit: None,
             guard: GuardSettings::default(),
+            threads: 1,
         }
     }
 }
 
 impl Settings {
+    /// Resolves [`Settings::threads`] to a concrete pool size: `0` means
+    /// "one per available core, capped at 8"; any other value is taken
+    /// verbatim.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => rsqp_par::available_threads().min(8),
+            t => t,
+        }
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Errors

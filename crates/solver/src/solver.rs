@@ -1,8 +1,9 @@
 //! The ADMM iteration (Algorithm 1 of the paper).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rsqp_sparse::CsrMatrix;
+use rsqp_sparse::{CsrMatrix, TransposeCache};
 
 use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
 use crate::control::SolveControl;
@@ -10,6 +11,7 @@ use crate::guard::{Anomaly, Guard, GuardReport, RecoveryAction};
 use crate::infeasibility::{dual_certificate, primal_certificate};
 use crate::settings::{CgTolerance, LinSysKind};
 use crate::termination::{residuals, ResidualInfo};
+use crate::workspace::IterateWorkspace;
 use crate::{QpProblem, RhoManager, Scaling, Settings, SolverError, Status};
 
 /// Floor for guard-driven CG tolerance tightening.
@@ -108,11 +110,16 @@ impl std::fmt::Display for SolveResult {
 /// backtesting example.
 pub struct Solver {
     settings: Settings,
-    orig: QpProblem,
+    /// Original problem, shared — retries and concurrent services hold the
+    /// same `Arc` instead of deep-copying the matrices per solver.
+    orig: Arc<QpProblem>,
     // Scaled problem data.
     p: CsrMatrix,
     q: Vec<f64>,
     a: CsrMatrix,
+    /// Cached gather transpose of the scaled `A`, used for every `Aᵀy`
+    /// product in residual and certificate computations.
+    at_cache: TransposeCache,
     l: Vec<f64>,
     u: Vec<f64>,
     scaling: Scaling,
@@ -122,6 +129,8 @@ pub struct Solver {
     x: Vec<f64>,
     z: Vec<f64>,
     y: Vec<f64>,
+    /// Pre-sized per-iteration scratch (kept across `solve` calls).
+    ws: IterateWorkspace,
     setup_time: Duration,
     /// Work counters of backends retired by the recovery ladder.
     retired_stats: BackendStats,
@@ -148,8 +157,19 @@ impl Solver {
     ///
     /// Returns an error for invalid settings or a failed factorization.
     pub fn new(problem: &QpProblem, settings: Settings) -> Result<Self, SolverError> {
+        Self::new_shared(Arc::new(problem.clone()), settings)
+    }
+
+    /// Like [`Solver::new`], but sharing an existing `Arc<QpProblem>` —
+    /// retries, resumes, and concurrent services reuse one copy of the
+    /// problem data instead of deep-copying the matrices per solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid settings or a failed factorization.
+    pub fn new_shared(problem: Arc<QpProblem>, settings: Settings) -> Result<Self, SolverError> {
         let kind = settings.linsys;
-        Self::with_backend(problem, settings, &mut |p, a, sigma, rho, s| match kind {
+        Self::with_backend_shared(problem, settings, &mut |p, a, sigma, rho, s| match kind {
             LinSysKind::DirectLdlt => {
                 Ok(Box::new(DirectLdltBackend::with_ordering(p, a, sigma, rho, s.ordering)?))
             }
@@ -158,7 +178,15 @@ impl Solver {
                     CgTolerance::Fixed(e) => e,
                     CgTolerance::Adaptive { start, .. } => start,
                 };
-                Ok(Box::new(CpuPcgBackend::new(p, a, sigma, rho, eps, s.cg_max_iter)))
+                Ok(Box::new(CpuPcgBackend::with_threads(
+                    p,
+                    a,
+                    sigma,
+                    rho,
+                    eps,
+                    s.cg_max_iter,
+                    s.resolved_threads(),
+                )))
             }
         })
     }
@@ -171,6 +199,25 @@ impl Solver {
     /// Returns an error for invalid settings or a factory failure.
     pub fn with_backend(
         problem: &QpProblem,
+        settings: Settings,
+        factory: &mut dyn FnMut(
+            &CsrMatrix,
+            &CsrMatrix,
+            f64,
+            &[f64],
+            &Settings,
+        ) -> Result<Box<dyn KktBackend>, SolverError>,
+    ) -> Result<Self, SolverError> {
+        Self::with_backend_shared(Arc::new(problem.clone()), settings, factory)
+    }
+
+    /// [`Solver::with_backend`] over a shared `Arc<QpProblem>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid settings or a factory failure.
+    pub fn with_backend_shared(
+        problem: Arc<QpProblem>,
         settings: Settings,
         factory: &mut dyn FnMut(
             &CsrMatrix,
@@ -200,12 +247,14 @@ impl Solver {
         let (l, u) = scaling.scale_bounds(problem.l(), problem.u());
         let rho_mgr = RhoManager::new(settings.rho, &l, &u);
         let backend = factory(&p, &a, settings.sigma, rho_mgr.rho_vec(), &settings)?;
+        let at_cache = TransposeCache::new(&a);
         Ok(Solver {
             settings,
-            orig: problem.clone(),
+            orig: problem,
             p,
             q,
             a,
+            at_cache,
             l,
             u,
             scaling,
@@ -214,6 +263,7 @@ impl Solver {
             x: vec![0.0; n],
             z: vec![0.0; m],
             y: vec![0.0; m],
+            ws: IterateWorkspace::new(n, m),
             setup_time: start.elapsed(),
             retired_stats: BackendStats::default(),
             total_iterations: 0,
@@ -314,7 +364,7 @@ impl Solver {
     ///
     /// Returns an error for invalid bounds or a failed refactorization.
     pub fn update_bounds(&mut self, l: Vec<f64>, u: Vec<f64>) -> Result<(), SolverError> {
-        self.orig.update_bounds(l, u)?;
+        Arc::make_mut(&mut self.orig).update_bounds(l, u)?;
         let (ls, us) = self.scaling.scale_bounds(self.orig.l(), self.orig.u());
         self.l = ls;
         self.u = us;
@@ -340,7 +390,7 @@ impl Solver {
         p_new: Option<CsrMatrix>,
         a_new: Option<CsrMatrix>,
     ) -> Result<(), SolverError> {
-        self.orig.update_matrices(p_new, a_new)?;
+        Arc::make_mut(&mut self.orig).update_matrices(p_new, a_new)?;
         // Re-equilibrate on the new values.
         let n = self.orig.num_vars();
         let m = self.orig.num_constraints();
@@ -374,6 +424,9 @@ impl Solver {
         self.x = self.scaling.scale_x(&x_un);
         self.y = self.scaling.scale_y(&y_un);
         self.a.spmv(&self.x, &mut self.z)?;
+        // Same sparsity structure by contract, so the cached transpose only
+        // needs its values regathered.
+        self.at_cache.refresh_values(&self.a)?;
         self.backend.update_matrices(&self.p, &self.a, self.rho_mgr.rho_vec())?;
         Ok(())
     }
@@ -384,7 +437,7 @@ impl Solver {
     ///
     /// Returns an error on length mismatch.
     pub fn update_q(&mut self, q: Vec<f64>) -> Result<(), SolverError> {
-        self.orig.update_q(q)?;
+        Arc::make_mut(&mut self.orig).update_q(q)?;
         // q̄ = c·D·q
         self.q = self
             .orig
@@ -455,16 +508,6 @@ impl Solver {
         }
         let max_iter = control.iter_cap.map_or(s.max_iter, |cap| cap.min(s.max_iter)).max(1);
 
-        let mut xtilde = vec![0.0; n];
-        let mut ztilde = vec![0.0; m];
-        let mut zcand = vec![0.0; m];
-        let mut prev_x = vec![0.0; n];
-        let mut prev_y = vec![0.0; m];
-        // Residual work buffers.
-        let mut ax = vec![0.0; m];
-        let mut px = vec![0.0; n];
-        let mut aty = vec![0.0; n];
-
         let mut cg_eps = match s.cg_tolerance {
             CgTolerance::Adaptive { start, .. } => {
                 self.backend.set_cg_tolerance(start);
@@ -495,8 +538,8 @@ impl Solver {
                 break;
             }
 
-            prev_x.copy_from_slice(&self.x);
-            prev_y.copy_from_slice(&self.y);
+            self.ws.prev_x.copy_from_slice(&self.x);
+            self.ws.prev_y.copy_from_slice(&self.y);
 
             let t = Instant::now();
             let kkt_result = self.backend.solve_kkt(
@@ -504,8 +547,8 @@ impl Solver {
                 &self.z,
                 &self.y,
                 &self.q,
-                &mut xtilde,
-                &mut ztilde,
+                &mut self.ws.xtilde,
+                &mut self.ws.ztilde,
             );
             kkt_time += t.elapsed();
             if let Err(e) = kkt_result {
@@ -528,17 +571,18 @@ impl Solver {
 
             // x^{k+1} = α x̃ + (1−α) x^k        (Algorithm 1, line 5)
             for j in 0..n {
-                self.x[j] = s.alpha * xtilde[j] + (1.0 - s.alpha) * self.x[j];
+                self.x[j] = s.alpha * self.ws.xtilde[j] + (1.0 - s.alpha) * self.x[j];
             }
             // z^{k+1} = Π(α z̃ + (1−α) z^k + ρ⁻¹ y^k)   (line 6)
             // y^{k+1} = ρ ∘ (candidate − z^{k+1})        (line 7, rearranged)
             let rho_inv = self.rho_mgr.rho_inv_vec();
             let rho_vec = self.rho_mgr.rho_vec();
             for i in 0..m {
-                zcand[i] =
-                    s.alpha * ztilde[i] + (1.0 - s.alpha) * self.z[i] + rho_inv[i] * self.y[i];
-                self.z[i] = zcand[i].max(self.l[i]).min(self.u[i]);
-                self.y[i] = rho_vec[i] * (zcand[i] - self.z[i]);
+                self.ws.zcand[i] = s.alpha * self.ws.ztilde[i]
+                    + (1.0 - s.alpha) * self.z[i]
+                    + rho_inv[i] * self.y[i];
+                self.z[i] = self.ws.zcand[i].max(self.l[i]).min(self.u[i]);
+                self.y[i] = rho_vec[i] * (self.ws.zcand[i] - self.z[i]);
             }
 
             let checking = k % s.check_termination == 0 || k == max_iter;
@@ -546,12 +590,22 @@ impl Solver {
                 continue;
             }
 
-            // Residuals (unscaled) from scaled intermediates.
-            self.a.spmv(&self.x, &mut ax)?;
-            self.p.spmv(&self.x, &mut px)?;
-            self.a.spmv_transpose(&self.y, &mut aty)?;
-            let info =
-                residuals(&self.scaling, &ax, &self.z, &px, &aty, &self.q, s.eps_abs, s.eps_rel);
+            // Residuals (unscaled) from scaled intermediates. `Aᵀy` goes
+            // through the cached gather transpose (bit-identical to the
+            // scatter kernel, but sequential in memory).
+            self.a.spmv(&self.x, &mut self.ws.ax)?;
+            self.p.spmv(&self.x, &mut self.ws.px)?;
+            self.at_cache.spmv(&self.y, &mut self.ws.aty)?;
+            let info = residuals(
+                &self.scaling,
+                &self.ws.ax,
+                &self.z,
+                &self.ws.px,
+                &self.ws.aty,
+                &self.q,
+                s.eps_abs,
+                s.eps_rel,
+            );
             last_info = Some(info);
 
             if let Some(g) = guard.as_mut() {
@@ -572,12 +626,12 @@ impl Solver {
                 break;
             }
 
-            if self.detect_primal_infeasible(&prev_y, s.eps_prim_inf)? {
+            if self.detect_primal_infeasible(s.eps_prim_inf)? {
                 status = Status::PrimalInfeasible;
                 iterations = k;
                 break;
             }
-            if self.detect_dual_infeasible(&prev_x, s.eps_dual_inf)? {
+            if self.detect_dual_infeasible(s.eps_dual_inf)? {
                 status = Status::DualInfeasible;
                 iterations = k;
                 break;
@@ -711,7 +765,9 @@ impl Solver {
         }
     }
 
-    fn detect_primal_infeasible(&self, prev_y: &[f64], eps: f64) -> Result<bool, SolverError> {
+    /// Primal-infeasibility certificate check on `δy = y − prev_y` (both in
+    /// the workspace), allocation-free.
+    fn detect_primal_infeasible(&mut self, eps: f64) -> Result<bool, SolverError> {
         let m = self.y.len();
         if m == 0 {
             return Ok(false);
@@ -720,37 +776,48 @@ impl Solver {
         let cinv = self.scaling.cinv();
         let e = self.scaling.e();
         let dinv = self.scaling.dinv();
-        let dy_scaled: Vec<f64> = self.y.iter().zip(prev_y).map(|(a, b)| a - b).collect();
-        let dy: Vec<f64> = dy_scaled.iter().zip(e).map(|(&v, &ei)| cinv * ei * v).collect();
+        for i in 0..m {
+            self.ws.dy_scaled[i] = self.y[i] - self.ws.prev_y[i];
+            self.ws.dy[i] = cinv * e[i] * self.ws.dy_scaled[i];
+        }
         // Aᵀδy (unscaled) = c⁻¹·D⁻¹·Āᵀ·δȳ.
-        let mut at_dy = vec![0.0; self.x.len()];
-        self.a.spmv_transpose(&dy_scaled, &mut at_dy)?;
-        for (v, &di) in at_dy.iter_mut().zip(dinv) {
+        self.at_cache.spmv(&self.ws.dy_scaled, &mut self.ws.at_dy)?;
+        for (v, &di) in self.ws.at_dy.iter_mut().zip(dinv) {
             *v *= cinv * di;
         }
-        Ok(primal_certificate(&dy, &at_dy, self.orig.l(), self.orig.u(), eps))
+        Ok(primal_certificate(&self.ws.dy, &self.ws.at_dy, self.orig.l(), self.orig.u(), eps))
     }
 
-    fn detect_dual_infeasible(&self, prev_x: &[f64], eps: f64) -> Result<bool, SolverError> {
+    /// Dual-infeasibility certificate check on `δx = x − prev_x` (both in
+    /// the workspace), allocation-free.
+    fn detect_dual_infeasible(&mut self, eps: f64) -> Result<bool, SolverError> {
         // δx̄ scaled; unscaled δx = D·δx̄.
         let d = self.scaling.d();
         let dinv = self.scaling.dinv();
         let einv = self.scaling.einv();
         let cinv = self.scaling.cinv();
-        let dx_scaled: Vec<f64> = self.x.iter().zip(prev_x).map(|(a, b)| a - b).collect();
-        let dx: Vec<f64> = dx_scaled.iter().zip(d).map(|(&v, &di)| v * di).collect();
+        for j in 0..self.x.len() {
+            self.ws.dx_scaled[j] = self.x[j] - self.ws.prev_x[j];
+            self.ws.dx[j] = self.ws.dx_scaled[j] * d[j];
+        }
         // P·δx (unscaled) = c⁻¹·D⁻¹·P̄·δx̄.
-        let mut p_dx = vec![0.0; dx.len()];
-        self.p.spmv(&dx_scaled, &mut p_dx)?;
-        for (v, &di) in p_dx.iter_mut().zip(dinv) {
+        self.p.spmv(&self.ws.dx_scaled, &mut self.ws.p_dx)?;
+        for (v, &di) in self.ws.p_dx.iter_mut().zip(dinv) {
             *v *= cinv * di;
         }
         // A·δx (unscaled) = E⁻¹·Ā·δx̄.
-        let mut a_dx = vec![0.0; self.z.len()];
-        self.a.spmv(&dx_scaled, &mut a_dx)?;
-        for (v, &ei) in a_dx.iter_mut().zip(einv) {
+        self.a.spmv(&self.ws.dx_scaled, &mut self.ws.a_dx)?;
+        for (v, &ei) in self.ws.a_dx.iter_mut().zip(einv) {
             *v *= ei;
         }
-        Ok(dual_certificate(&dx, &p_dx, &a_dx, self.orig.q(), self.orig.l(), self.orig.u(), eps))
+        Ok(dual_certificate(
+            &self.ws.dx,
+            &self.ws.p_dx,
+            &self.ws.a_dx,
+            self.orig.q(),
+            self.orig.l(),
+            self.orig.u(),
+            eps,
+        ))
     }
 }

@@ -1,4 +1,6 @@
-use crate::{CooMatrix, CscMatrix, SparseError};
+use rsqp_par::ThreadPool;
+
+use crate::{CooMatrix, CscMatrix, RowPartition, SparseError};
 
 /// Compressed sparse row matrix with `f64` values.
 ///
@@ -233,6 +235,14 @@ impl CsrMatrix {
     }
 
     /// Computes `y = selfᵀ * x` without materializing the transpose.
+    ///
+    /// This is a **scatter** kernel: each source row adds into output
+    /// positions spread across all of `y`, so it walks the output with no
+    /// locality and cannot be row-parallelized without atomics. It is the
+    /// right choice when the transpose is applied once (problem setup,
+    /// polish); repeated applications — the reduced KKT operator evaluates
+    /// `Aᵀv` on every PCG iteration — should build a
+    /// [`crate::TransposeCache`] once and use its gather SpMV instead.
     ///
     /// # Errors
     ///
@@ -693,6 +703,89 @@ impl CsrMatrix {
                         *yi = acc;
                     }
                 });
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `y = self * x` on a reusable [`ThreadPool`] over a
+    /// precomputed [`RowPartition`].
+    ///
+    /// Unlike [`CsrMatrix::spmv_parallel`], which spawns fresh threads per
+    /// call, this dispatches to an existing pool with no per-call
+    /// allocation — the shape the PCG inner loop needs. Bit-identical to
+    /// [`CsrMatrix::spmv`] for any pool and any partition, because each
+    /// row's dot product is still accumulated left-to-right by one thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] on shape mismatch or when
+    /// the partition does not cover this matrix's rows.
+    pub fn spmv_partitioned(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        pool: &ThreadPool,
+        partition: &RowPartition,
+    ) -> Result<(), SparseError> {
+        self.check_spmv_dims(x, y)?;
+        if partition.nrows() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmv partition rows",
+                expected: self.nrows,
+                found: partition.nrows(),
+            });
+        }
+        if pool.is_serial() || partition.num_chunks() <= 1 {
+            return self.spmv(x, y);
+        }
+        pool.par_chunks(y, partition.bounds(), |_, lo, chunk| {
+            for (k, yi) in chunk.iter_mut().enumerate() {
+                let (cols, vals) = self.row(lo + k);
+                let mut acc = 0.0;
+                for (&j, &v) in cols.iter().zip(vals) {
+                    acc += v * x[j];
+                }
+                *yi = acc;
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes `y += alpha * self * x` on a reusable [`ThreadPool`] over a
+    /// precomputed [`RowPartition`]. See [`CsrMatrix::spmv_partitioned`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] on shape mismatch or when
+    /// the partition does not cover this matrix's rows.
+    pub fn spmv_acc_partitioned(
+        &self,
+        alpha: f64,
+        x: &[f64],
+        y: &mut [f64],
+        pool: &ThreadPool,
+        partition: &RowPartition,
+    ) -> Result<(), SparseError> {
+        self.check_spmv_dims(x, y)?;
+        if partition.nrows() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                op: "spmv partition rows",
+                expected: self.nrows,
+                found: partition.nrows(),
+            });
+        }
+        if pool.is_serial() || partition.num_chunks() <= 1 {
+            return self.spmv_acc(alpha, x, y);
+        }
+        pool.par_chunks(y, partition.bounds(), |_, lo, chunk| {
+            for (k, yi) in chunk.iter_mut().enumerate() {
+                let (cols, vals) = self.row(lo + k);
+                let mut acc = 0.0;
+                for (&j, &v) in cols.iter().zip(vals) {
+                    acc += v * x[j];
+                }
+                *yi += alpha * acc;
             }
         });
         Ok(())

@@ -11,7 +11,10 @@
 //! * [`vec_ops`] — the dense vector kernels (dot products, norms, linear
 //!   combinations, element-wise projection) that correspond one-to-one with
 //!   the vector-engine instructions of the RSQP architecture (Table 1 of the
-//!   paper).
+//!   paper),
+//! * [`RowPartition`] / [`TransposeCache`] plus the `*_partitioned` SpMV and
+//!   `*_par` vector kernels — the deterministic parallel CPU layer (built on
+//!   `rsqp-par`) used by the reference PCG/ADMM hot path.
 //!
 //! # Example
 //!
@@ -40,11 +43,15 @@ mod csc;
 mod csr;
 mod error;
 pub mod io;
+mod partition;
 pub mod pattern;
 pub mod stack;
+mod transpose;
 pub mod vec_ops;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use partition::RowPartition;
+pub use transpose::TransposeCache;
