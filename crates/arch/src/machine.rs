@@ -44,9 +44,21 @@ impl CycleBreakdown {
             other => unreachable!("unknown class {other}"),
         }
     }
+
+    fn since(self, earlier: CycleBreakdown) -> CycleBreakdown {
+        CycleBreakdown {
+            spmv: self.spmv - earlier.spmv,
+            vector: self.vector - earlier.vector,
+            duplication: self.duplication - earlier.duplication,
+            scalar: self.scalar - earlier.scalar,
+            transfer: self.transfer - earlier.transfer,
+            control: self.control - earlier.control,
+        }
+    }
 }
 
-/// Execution statistics of one `run`.
+/// Execution statistics: what [`Machine::run`] returns for one program
+/// execution, and what [`Machine::stats`] accumulates across them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Total cycles.
@@ -57,9 +69,46 @@ pub struct RunStats {
     pub instructions: u64,
     /// Hardware-loop trips taken.
     pub loop_trips: u64,
+    /// Bytes moved over the (simulated) HBM interface by `LoadHbm` /
+    /// `StoreHbm` (8 bytes per element).
+    pub hbm_bytes: u64,
     /// Bit flips injected by the fault harness (0 unless armed via
     /// [`crate::FaultConfig`]).
     pub faults: u64,
+}
+
+impl RunStats {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// monotone counters — how [`Machine::run`] derives its per-run stats
+    /// from the cumulative ones.
+    pub fn since(self, earlier: RunStats) -> RunStats {
+        RunStats {
+            cycles: self.cycles - earlier.cycles,
+            breakdown: self.breakdown.since(earlier.breakdown),
+            instructions: self.instructions - earlier.instructions,
+            loop_trips: self.loop_trips - earlier.loop_trips,
+            hbm_bytes: self.hbm_bytes - earlier.hbm_bytes,
+            faults: self.faults - earlier.faults,
+        }
+    }
+
+    /// Folds these stats into a metrics registry under `machine_*`
+    /// counters — the bridge from the cycle-level simulator to the shared
+    /// observability layer (cycles per class, instructions, loop trips,
+    /// HBM traffic, and injected faults).
+    pub fn fold_into(&self, registry: &rsqp_obs::MetricsRegistry) {
+        registry.counter("machine_cycles").add(self.cycles);
+        registry.counter("machine_instructions").add(self.instructions);
+        registry.counter("machine_loop_trips").add(self.loop_trips);
+        registry.counter("machine_hbm_bytes").add(self.hbm_bytes);
+        registry.counter("machine_faults").add(self.faults);
+        registry.counter("machine_cycles_spmv").add(self.breakdown.spmv);
+        registry.counter("machine_cycles_vector").add(self.breakdown.vector);
+        registry.counter("machine_cycles_duplication").add(self.breakdown.duplication);
+        registry.counter("machine_cycles_scalar").add(self.breakdown.scalar);
+        registry.counter("machine_cycles_transfer").add(self.breakdown.transfer);
+        registry.counter("machine_cycles_control").add(self.breakdown.control);
+    }
 }
 
 /// One matrix resident in (simulated) HBM with its customization artifacts.
@@ -229,13 +278,18 @@ impl Machine {
         self.stats = RunStats::default();
     }
 
-    /// Executes a program to completion.
+    /// Executes a program to completion and returns the statistics of
+    /// **this run alone**. The cumulative [`Machine::stats`] keep
+    /// accumulating across runs as before; callers that need per-run
+    /// accounting (per-KKT-solve cycle/fault deltas) use the return value
+    /// instead of differencing the cumulative counters themselves.
     ///
     /// # Errors
     ///
     /// Returns an [`ArchError`] on operand mismatches, stale CVB reads, or
     /// a loop-trip overflow.
-    pub fn run(&mut self, program: &Program) -> Result<(), ArchError> {
+    pub fn run(&mut self, program: &Program) -> Result<RunStats, ArchError> {
+        let before = self.stats;
         let mut pc = 0usize;
         let mut trips = 0usize;
         let instrs = program.instrs();
@@ -265,7 +319,7 @@ impl Machine {
                 _ => pc += 1,
             }
         }
-        Ok(())
+        Ok(self.stats.since(before))
     }
 
     fn execute(&mut self, i: &Instr) -> Result<u64, ArchError> {
@@ -305,10 +359,12 @@ impl Machine {
                     *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
                     self.stats.faults += 1;
                 }
+                self.stats.hbm_bytes += 8 * self.vecs[vec.0].len() as u64;
                 Ok(self.config.transfer_cycles(self.vecs[vec.0].len()))
             }
             Instr::StoreHbm { vec } => {
                 self.check_vec(vec)?;
+                self.stats.hbm_bytes += 8 * self.vecs[vec.0].len() as u64;
                 Ok(self.config.transfer_cycles(self.vecs[vec.0].len()))
             }
             Instr::Lincomb { dst, alpha, a, beta, b } => {
@@ -801,6 +857,64 @@ mod tests {
         m.run(&pb.build().unwrap()).unwrap();
         assert_eq!(m.stats().faults, 0);
         assert_eq!(m.read_vec(x), &[2.0; 8]);
+    }
+
+    #[test]
+    fn run_stats_are_per_run_not_cumulative() {
+        // Regression: `run` used to return `()` and callers differenced the
+        // cumulative counters by hand — and the fault count was easy to
+        // misread as per-run when it never reset between runs.
+        let fault = crate::FaultConfig::new(7).with_hbm_read_flips(1.0);
+        let mut m = faulty_machine(4, fault);
+        let x = m.alloc_vec(8);
+        m.write_vec(x, &[1.0; 8]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        let p = pb.build().unwrap();
+        let first = m.run(&p).unwrap();
+        let second = m.run(&p).unwrap();
+        assert_eq!(first.faults, 1);
+        assert_eq!(second.faults, 1, "second run's stats must not include the first run's fault");
+        assert_eq!(first.instructions, 1);
+        assert_eq!(second.instructions, 1);
+        assert_eq!(first.hbm_bytes, 64);
+        assert_eq!(second.hbm_bytes, 64);
+        assert_eq!(first.cycles, second.cycles);
+        // The cumulative view still accumulates (perf models rely on it).
+        assert_eq!(m.stats().faults, 2);
+        assert_eq!(m.stats().hbm_bytes, 128);
+        assert_eq!(m.stats().since(first), second, "cumulative = sum of the per-run deltas");
+    }
+
+    #[test]
+    fn hbm_traffic_is_counted_in_bytes() {
+        let mut m = machine4();
+        let x = m.alloc_vec(16);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        pb.push(Instr::StoreHbm { vec: x });
+        let stats = m.run(&pb.build().unwrap()).unwrap();
+        assert_eq!(stats.hbm_bytes, 2 * 16 * 8);
+    }
+
+    #[test]
+    fn run_stats_fold_into_a_registry() {
+        let mut m = machine4();
+        let x = m.alloc_vec(8);
+        m.write_vec(x, &[1.0; 8]);
+        let mut pb = ProgramBuilder::new();
+        pb.push(Instr::LoadHbm { vec: x });
+        pb.push(Instr::StoreHbm { vec: x });
+        let stats = m.run(&pb.build().unwrap()).unwrap();
+        let registry = rsqp_obs::MetricsRegistry::new();
+        stats.fold_into(&registry);
+        stats.fold_into(&registry); // folding accumulates
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("machine_cycles"), 2 * stats.cycles);
+        assert_eq!(snap.counter("machine_hbm_bytes"), 2 * stats.hbm_bytes);
+        assert_eq!(snap.counter("machine_instructions"), 4);
+        assert_eq!(snap.counter("machine_faults"), 0);
+        assert_eq!(snap.counter("machine_cycles_transfer"), 2 * stats.breakdown.transfer);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * a full PCG solve, per-call allocation (`pcg`) vs. reused workspace
 //!   (`pcg_with`);
 //! * end-to-end PCG-backend solves of the largest control/lasso suite
-//!   instances at 1 and 4 kernel threads.
+//!   instances at 1 and 4 kernel threads;
+//! * a telemetry-overhead check: the disabled-tracing solve path must stay
+//!   within 2% of the default-settings baseline path (asserted in-process,
+//!   same host), with the traced path reported for visibility.
 //!
 //! Every parallel result is asserted **bit-identical** across pools of
 //! 1, 2, and 8 threads before any number is reported.
@@ -36,6 +39,10 @@ use rsqp_sparse::{CooMatrix, CsrMatrix, RowPartition, TransposeCache};
 const BASELINE: &str = "BENCH_kernels.json";
 /// Gate: a speedup metric may not fall below this fraction of baseline.
 const TOLERANCE: f64 = 0.75;
+/// Gate: the disabled-telemetry solve may not stray more than this
+/// fraction from the default-settings baseline path (same process, same
+/// host, interleaved best-of-N — so the band can be tight).
+const TRACE_OVERHEAD_TOLERANCE: f64 = 0.02;
 /// Pool sizes every kernel result must be bit-identical across.
 const DETERMINISM_POOLS: [usize; 3] = [1, 2, 8];
 
@@ -309,6 +316,80 @@ fn main() -> ExitCode {
             report.push(&format!("speedup_e2e_{tag}"), times[0] / times[1]);
         }
         assert_bits_equal(&format!("e2e_{tag}_solution"), &solutions);
+    }
+
+    // --- Telemetry overhead: disabled tracing rides the baseline path ---
+    //
+    // `Settings::default()` is exactly how the e2e baselines above were
+    // measured before telemetry existed; `trace: false` names the
+    // disabled-telemetry path explicitly. The two must be the same code
+    // within measurement noise — if they ever diverge past the band (for
+    // example because tracing became enabled by default, or the disabled
+    // branch grew real work), this assert fires. `trace: true` is also
+    // measured and reported for visibility, but not gated: enabling
+    // telemetry legitimately costs a little.
+    {
+        let problem = generate(Domain::Lasso, 100, 7);
+        let overhead_reps = if opts.quick { 12 } else { 18 };
+        let with_trace = |trace: bool| Settings {
+            linsys: LinSysKind::CpuPcg,
+            threads: 1,
+            cg_tolerance: CgTolerance::Fixed(1e-7),
+            adaptive_rho: false,
+            trace,
+            ..Settings::default()
+        };
+        let baseline_settings = Settings {
+            linsys: LinSysKind::CpuPcg,
+            threads: 1,
+            cg_tolerance: CgTolerance::Fixed(1e-7),
+            adaptive_rho: false,
+            ..Settings::default()
+        };
+        // One unmeasured warmup so neither gated slot pays first-touch
+        // costs (page faults, allocator growth) on the clock.
+        drop(solve_setup(&problem, baseline_settings.clone()).solve().expect("warmup solve"));
+        let mut best = [f64::INFINITY; 3];
+        let mut traced = None;
+        for _ in 0..overhead_reps {
+            for (slot, settings) in
+                [(0usize, baseline_settings.clone()), (1, with_trace(false)), (2, with_trace(true))]
+            {
+                let t = Instant::now();
+                let mut solver = solve_setup(&problem, settings);
+                let result = solver.solve().expect("overhead solve");
+                best[slot] = best[slot].min(t.elapsed().as_nanos() as f64);
+                if slot == 2 {
+                    traced = result.trace;
+                }
+            }
+        }
+        report.push("trace_baseline_ns", best[0]);
+        report.push("trace_disabled_ns", best[1]);
+        report.push("trace_enabled_ns", best[2]);
+        let overhead = best[1] / best[0];
+        report.push("trace_overhead_disabled", overhead);
+        report.push("trace_overhead_enabled", best[2] / best[0]);
+        assert!(
+            (overhead - 1.0).abs() <= TRACE_OVERHEAD_TOLERANCE,
+            "disabled-telemetry solve ({:.3e} ns) strayed more than {:.0}% from the \
+             baseline path ({:.3e} ns): ratio {overhead:.4}",
+            best[1],
+            TRACE_OVERHEAD_TOLERANCE * 100.0,
+            best[0],
+        );
+        let trace = traced.expect("trace: true must yield a SolveTrace");
+        println!(
+            "trace summary ({}): backend={} status={} iterations={} cg_total={} \
+             spans={} events={}",
+            trace.problem,
+            trace.backend,
+            trace.status,
+            trace.iterations,
+            trace.total_cg_iterations(),
+            trace.spans.len(),
+            trace.events.len(),
+        );
     }
 
     println!("bench_kernels results ({} cores):", cores);

@@ -237,6 +237,25 @@ fn main() {
             report.outcome
         );
     }
+    // --- criterion 4: the telemetry ledger balances -------------------
+    // Every accepted job has reported, so the lifecycle counters must
+    // account for every job exactly once.
+    let snap = service.metrics_snapshot();
+    let accepted = (fleet + WORKERS) as u64;
+    assert_eq!(snap.counter("jobs_submitted"), accepted, "one submit counted per accepted job");
+    assert_eq!(snap.counter("jobs_rejected"), rejections as u64);
+    assert_eq!(
+        snap.counter("jobs_submitted"),
+        snap.counter("jobs_completed")
+            + snap.counter("jobs_failed")
+            + snap.counter("jobs_cancelled"),
+        "submitted = completed + failed + cancelled must hold once all jobs reported"
+    );
+    assert_eq!(snap.counter("jobs_cancelled"), CANCEL_JOBS, "only the cancel/ jobs are cancelled");
+    assert_eq!(snap.gauge("queue_depth"), 0, "nothing left queued");
+    assert_eq!(snap.gauge("jobs_in_flight"), 0, "nothing left running");
+    assert_eq!(snap.histograms["exec_time_us"].count(), accepted);
+    assert_eq!(snap.histograms["queue_wait_us"].count(), accepted);
     service.shutdown();
 
     println!("chaos_smoke: seed={master} fleet={fleet} workers={WORKERS} queue={QUEUE_CAPACITY}");
@@ -244,6 +263,20 @@ fn main() {
     println!("  max retry attempts on one job: {max_attempts}");
     for (outcome, count) in &by_outcome {
         println!("  {count:>3} × {outcome}");
+    }
+    println!(
+        "  metrics: submitted={} completed={} failed={} cancelled={} rejected={} retries={} panics={}",
+        snap.counter("jobs_submitted"),
+        snap.counter("jobs_completed"),
+        snap.counter("jobs_failed"),
+        snap.counter("jobs_cancelled"),
+        snap.counter("jobs_rejected"),
+        snap.counter("retries"),
+        snap.counter("panics"),
+    );
+    for name in ["queue_wait_us", "exec_time_us"] {
+        let h = &snap.histograms[name];
+        println!("  {name}: count={} mean={:.0}us max<={}us", h.count(), h.mean(), h.max_bound());
     }
     println!(
         "  all {fleet} jobs reported, all {WORKERS} workers alive — ok in {:.1?}",

@@ -165,16 +165,17 @@ impl KktBackend for FpgaPcgBackend {
         machine.write_vec(self.kernel.z, z);
         machine.write_vec(self.kernel.y, y);
         machine.write_vec(self.kernel.q, q);
-        let trips_before = machine.stats().loop_trips;
-        machine
+        // `run` reports this solve's stats alone (cumulative counters live
+        // on the machine for the perf model).
+        let run = machine
             .run(&self.kernel.program)
             .map_err(|e| SolverError::Backend(format!("machine error: {e}")))?;
         xtilde.copy_from_slice(machine.read_vec(self.kernel.x));
         ztilde.copy_from_slice(machine.read_vec(self.kernel.ztilde));
         self.stats.kkt_solves += 1;
-        let trips = machine.stats().loop_trips - trips_before;
-        self.stats.cg_iterations += trips as usize;
-        self.stats.spmv_evals += 3 * (trips as usize + 1) + 2;
+        let trips = run.loop_trips as usize;
+        self.stats.cg_iterations += trips;
+        self.stats.spmv_evals += 3 * (trips + 1) + 2;
         Ok(())
     }
 

@@ -1,0 +1,184 @@
+//! Minimal JSON emission, shared by the trace and metrics exporters.
+//!
+//! The workspace is offline and dependency-free, so instead of serde this
+//! module provides a tiny push-style writer. Floats are emitted with
+//! Rust's shortest-roundtrip formatting (`{:?}`), so a value parsed back
+//! from the output is bit-identical to the one written — the property the
+//! golden-trace tests rely on. Non-finite floats become `null` (JSON has
+//! no NaN/Inf).
+
+use std::fmt::Write as _;
+
+/// A push-style JSON writer over an owned `String`.
+///
+/// Callers are responsible for the large-scale document structure (the
+/// writer does not validate that objects and arrays are closed in order);
+/// in exchange it is a zero-dependency, allocation-predictable building
+/// block.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// Whether the next item at the current nesting level needs a comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(need) = self.needs_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    /// Opens an object (`{`), optionally as the member `key` of the
+    /// enclosing object.
+    pub fn begin_object(&mut self, key: Option<&str>) {
+        self.comma();
+        if let Some(k) = key {
+            self.key(k);
+        }
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`), optionally as the member `key` of the
+    /// enclosing object.
+    pub fn begin_array(&mut self, key: Option<&str>) {
+        self.comma();
+        if let Some(k) = key {
+            self.key(k);
+        }
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    fn key(&mut self, key: &str) {
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes a string member.
+    pub fn string(&mut self, key: &str, value: &str) {
+        self.comma();
+        self.key(key);
+        escape_into(&mut self.out, value);
+    }
+
+    /// Writes an unsigned-integer member.
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.comma();
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a signed-integer member.
+    pub fn i64(&mut self, key: &str, value: i64) {
+        self.comma();
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// Writes a float member with shortest-roundtrip precision; non-finite
+    /// values become `null`.
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.comma();
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value:?}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a bare unsigned integer as an array element.
+    pub fn element_u64(&mut self, value: u64) {
+        self.comma();
+        let _ = write!(self.out, "{value}");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.string("name", "a \"quoted\"\nvalue");
+        w.u64("count", 3);
+        w.f64("pi", 0.1 + 0.2);
+        w.f64("bad", f64::NAN);
+        w.begin_array(Some("xs"));
+        w.element_u64(1);
+        w.element_u64(2);
+        w.end_array();
+        w.begin_object(Some("inner"));
+        w.i64("neg", -5);
+        w.end_object();
+        w.end_object();
+        let doc = w.finish();
+        assert_eq!(
+            doc,
+            "{\"name\":\"a \\\"quoted\\\"\\nvalue\",\"count\":3,\"pi\":0.30000000000000004,\
+             \"bad\":null,\"xs\":[1,2],\"inner\":{\"neg\":-5}}"
+        );
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        for v in [1.0, -0.0, 1e-300, 123456.789, f64::MIN_POSITIVE] {
+            let mut w = JsonWriter::new();
+            w.begin_object(None);
+            w.f64("v", v);
+            w.end_object();
+            let doc = w.finish();
+            let text = doc.trim_start_matches("{\"v\":").trim_end_matches('}');
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} did not roundtrip via {text}");
+        }
+    }
+}

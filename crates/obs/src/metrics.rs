@@ -1,0 +1,344 @@
+//! Lock-light counters, gauges, and log₂-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json::JsonWriter;
+
+/// Number of histogram buckets: bucket 0 holds the value 0 and bucket `k`
+/// holds values in `[2^(k-1), 2^k)`, so 65 buckets cover all of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (queue depth, jobs in flight). Cloning
+/// shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Sum of observed values (for the mean). May momentarily lag the
+    /// buckets under concurrent observation; the bucket counts themselves
+    /// are the source of truth for totals.
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over `u64` samples with fixed log₂ buckets. There is no
+/// separate total-count cell: the total is the sum of the bucket counts,
+/// so "bucket counts sum to the number of observations" holds by
+/// construction in every snapshot, even one taken mid-write.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+}
+
+/// Bucket index of a sample: 0 for the value 0, otherwise its bit length.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (b, cell) in buckets.iter_mut().zip(&self.0.buckets) {
+            *b = cell.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, sum: self.0.sum.load(Ordering::Relaxed) }
+    }
+}
+
+/// A consistent-per-cell copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log₂ bucket (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of observed values (may lag the buckets under concurrency).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations: the sum of the bucket counts.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Inclusive upper bound of the highest non-empty bucket (0 when
+    /// empty) — a cheap "max is below" statistic for summaries.
+    pub fn max_bound(&self) -> u64 {
+        match self.buckets.iter().rposition(|&c| c > 0) {
+            None | Some(0) => 0,
+            Some(k) if k >= 64 => u64::MAX,
+            Some(k) => (1u64 << k) - 1,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<Vec<(String, Counter)>>,
+    gauges: Mutex<Vec<(String, Gauge)>>,
+    histograms: Mutex<Vec<(String, Histogram)>>,
+}
+
+/// A lock-light registry of named metrics.
+///
+/// Handle lookup ([`MetricsRegistry::counter`] and friends) takes a short
+/// mutex and returns a shared handle; the hot path — incrementing through
+/// a held handle — is a single relaxed atomic op, so instruments can sit
+/// inside worker loops without contention. Cloning the registry shares
+/// the underlying metric set.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+fn get_or_insert<T: Clone + Default>(list: &Mutex<Vec<(String, T)>>, name: &str) -> T {
+    let mut guard = list.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some((_, handle)) = guard.iter().find(|(n, _)| n == name) {
+        return handle.clone();
+    }
+    let handle = T::default();
+    guard.push((name.to_string(), handle.clone()));
+    handle
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it on first use. Repeated
+    /// calls with the same name return handles to the same cell.
+    pub fn counter(&self, name: &str) -> Counter {
+        get_or_insert(&self.inner.counters, name)
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        get_or_insert(&self.inner.gauges, name)
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        get_or_insert(&self.inner.histograms, name)
+    }
+
+    /// A point-in-time copy of every registered metric. Safe to call
+    /// while writers are active: each cell is read atomically (values
+    /// never tear), though concurrently arriving updates may or may not
+    /// be included.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let guard = self.inner.counters.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.iter().map(|(n, c)| (n.clone(), c.get())).collect()
+        };
+        let gauges = {
+            let guard = self.inner.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.iter().map(|(n, g)| (n.clone(), g.get())).collect()
+        };
+        let histograms = {
+            let guard = self.inner.histograms.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.iter().map(|(n, h)| (n.clone(), h.snapshot())).collect()
+        };
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A counter's value, defaulting to 0 when it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, defaulting to 0 when it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// The snapshot as a JSON document (histograms as count/mean/max
+    /// summaries plus their non-empty buckets).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.begin_object(Some("counters"));
+        for (name, value) in &self.counters {
+            w.u64(name, *value);
+        }
+        w.end_object();
+        w.begin_object(Some("gauges"));
+        for (name, value) in &self.gauges {
+            w.i64(name, *value);
+        }
+        w.end_object();
+        w.begin_object(Some("histograms"));
+        for (name, h) in &self.histograms {
+            w.begin_object(Some(name));
+            w.u64("count", h.count());
+            w.u64("sum", h.sum);
+            w.f64("mean", h.mean());
+            w.u64("max_bound", h.max_bound());
+            w.begin_array(Some("buckets"));
+            for &b in &h.buckets {
+                w.element_u64(b);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("jobs");
+        c.inc();
+        c.add(4);
+        // Same name → same cell.
+        assert_eq!(reg.counter("jobs").get(), 5);
+        let g = reg.gauge("depth");
+        g.add(3);
+        g.sub(1);
+        assert_eq!(reg.gauge("depth").get(), 2);
+        g.set(-7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jobs"), 5);
+        assert_eq!(snap.gauge("depth"), -7);
+        assert_eq!(snap.counter("never-registered"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1024] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.max_bound(), 2047);
+        assert!((s.mean() - 206.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_summaries() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max_bound(), 0);
+    }
+
+    #[test]
+    fn snapshot_exports_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.gauge("b").set(2);
+        reg.histogram("c").observe(5);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"a\":1"));
+        assert!(json.contains("\"b\":2"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

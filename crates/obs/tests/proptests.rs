@@ -1,0 +1,148 @@
+//! Property-based tests for the metrics layer.
+//!
+//! Three properties the rest of the workspace leans on:
+//!
+//! * histogram bucket counts always sum to the number of observations
+//!   (the total is *defined* as the bucket sum — there is no separate
+//!   count cell to fall out of sync);
+//! * concurrent counter increments from many threads lose no updates;
+//! * snapshotting while writers are mid-flight never panics and never
+//!   produces a torn view (counts only move forward, totals stay
+//!   consistent with the per-bucket cells).
+
+use std::sync::atomic::Ordering;
+
+use proptest::prelude::*;
+use rsqp_obs::{Histogram, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix of tiny, mid-range, and near-overflow samples so every bucket
+    // regime (the 0 bucket, interior ones, the top catch-all) is hit.
+    let sample =
+        prop_oneof![0u64..16, 1u64..1_000_000, (u64::MAX - 1_000)..=u64::MAX, any::<u64>(),];
+    prop::collection::vec(sample, 0..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_counts_sum_to_observations(samples in arb_samples()) {
+        let h = Histogram::default();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), samples.len() as u64);
+        // Every sample landed in a bucket whose range contains it.
+        for (k, &count) in snap.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = if k == 0 { 0 } else { 1u64 << (k - 1) };
+            let hi = if k == 0 {
+                0
+            } else if k >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << k) - 1
+            };
+            let in_range = samples.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+            prop_assert_eq!(count, in_range, "bucket {} [{}, {}]", k, lo, hi);
+        }
+        prop_assert_eq!(snap.sum, samples.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+        prop_assert!(snap.buckets.len() == HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_lose_nothing(
+        threads in 2usize..8,
+        per_thread in 1u64..5_000,
+    ) {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    // Each thread resolves the handle by name itself: the
+                    // registry must hand every thread the same cell.
+                    let counter = registry.counter("shared");
+                    for _ in 0..per_thread {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(registry.counter("shared").get(), threads as u64 * per_thread);
+        prop_assert_eq!(registry.snapshot().counter("shared"), threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn snapshot_during_writes_never_tears(
+        writers in 1usize..4,
+        ops in 500u64..8_000,
+    ) {
+        let registry = MetricsRegistry::new();
+        // Register up front so even a snapshot that races ahead of every
+        // writer sees the instruments; the writer threads must get handed
+        // these same cells by name.
+        registry.counter("ops");
+        registry.gauge("level");
+        registry.histogram("latency");
+        // Writers perform a *bounded* burst of updates (not a spin loop —
+        // the CI host may have a single core) while the main thread keeps
+        // snapshotting until every writer has exited; the assertions run
+        // afterwards, on the collected snapshots.
+        let live = std::sync::atomic::AtomicUsize::new(writers);
+        let observed: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+            let live = &live;
+            for w in 0..writers {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    let counter = registry.counter("ops");
+                    let gauge = registry.gauge("level");
+                    let histogram = registry.histogram("latency");
+                    let mut v = w as u64;
+                    for _ in 0..ops {
+                        counter.inc();
+                        gauge.add(1);
+                        gauge.sub(1);
+                        histogram.observe(v % 1_000_000);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    }
+                    live.fetch_sub(1, Ordering::Release);
+                });
+            }
+            let mut taken = Vec::new();
+            loop {
+                let done = live.load(Ordering::Acquire) == 0;
+                // Must not panic while writers are mid-flight.
+                let snap = registry.snapshot();
+                let hist = &snap.histograms["latency"];
+                taken.push((snap.counter("ops"), hist.count(), hist.buckets.iter().sum::<u64>()));
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            taken
+        });
+        let mut last_count = 0u64;
+        let mut last_obs = 0u64;
+        for (count, obs, bucket_sum) in &observed {
+            // Never torn, never backwards: the bucket sum *is* the total,
+            // and counters are monotone.
+            prop_assert!(*count >= last_count, "counter ran backwards");
+            prop_assert!(*obs >= last_obs, "histogram lost observations");
+            prop_assert_eq!(*bucket_sum, *obs);
+            last_count = *count;
+            last_obs = *obs;
+        }
+        // Quiesced: nothing lost, and gauge adds/subs balanced exactly.
+        let total = writers as u64 * ops;
+        prop_assert_eq!(observed.last().unwrap().0, total);
+        prop_assert_eq!(observed.last().unwrap().1, total);
+        prop_assert_eq!(registry.gauge("level").get(), 0);
+    }
+}

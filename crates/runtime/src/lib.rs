@@ -63,3 +63,6 @@ pub use chaos::ChaosPlan;
 pub use job::{AttemptSummary, BackendFactory, JobBudget, JobError, JobHandle, JobReport, JobSpec};
 pub use retry::RetryPolicy;
 pub use service::{ServiceConfig, SolveService, SubmitError};
+// Telemetry types re-exported so callers can consume
+// `SolveService::metrics_snapshot()` without a direct `rsqp-obs` dependency.
+pub use rsqp_obs::{MetricsRegistry, MetricsSnapshot};

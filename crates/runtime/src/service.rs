@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
+use rsqp_obs::{MetricsRegistry, MetricsSnapshot};
 use rsqp_solver::{
     CancelToken, Checkpoint, SolveControl, SolveResult, Solver, SolverError, Status,
 };
@@ -103,7 +104,59 @@ struct QueuedJob {
     spec: JobSpec,
     cancel: CancelToken,
     deadline: Option<Instant>,
+    submitted_at: Instant,
     result_tx: mpsc::Sender<JobReport>,
+}
+
+/// Telemetry handles a worker holds for its whole lifetime, so the per-job
+/// hot path is pure atomic updates (no registry lookups).
+struct WorkerMetrics {
+    queue_depth: rsqp_obs::Gauge,
+    in_flight: rsqp_obs::Gauge,
+    queue_wait_us: rsqp_obs::Histogram,
+    exec_time_us: rsqp_obs::Histogram,
+    completed: rsqp_obs::Counter,
+    failed: rsqp_obs::Counter,
+    cancelled: rsqp_obs::Counter,
+    retries: rsqp_obs::Counter,
+    panics: rsqp_obs::Counter,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        WorkerMetrics {
+            queue_depth: registry.gauge("queue_depth"),
+            in_flight: registry.gauge("jobs_in_flight"),
+            queue_wait_us: registry.histogram("queue_wait_us"),
+            exec_time_us: registry.histogram("exec_time_us"),
+            completed: registry.counter("jobs_completed"),
+            failed: registry.counter("jobs_failed"),
+            cancelled: registry.counter("jobs_cancelled"),
+            retries: registry.counter("retries"),
+            panics: registry.counter("panics"),
+        }
+    }
+
+    /// Folds one finished job's report into the counters. The status
+    /// classification is exhaustive and disjoint, so
+    /// `jobs_submitted == jobs_completed + jobs_failed + jobs_cancelled`
+    /// holds once every accepted job has reported (the invariant
+    /// `chaos_smoke` asserts).
+    fn record_outcome(&self, report: &JobReport) {
+        self.retries.add(report.attempts.len().saturating_sub(1) as u64);
+        self.panics.add(
+            report
+                .attempts
+                .iter()
+                .filter(|a| a.error.as_deref().is_some_and(|e| e.starts_with("panic:")))
+                .count() as u64,
+        );
+        match &report.outcome {
+            Ok(result) if result.status == Status::Cancelled => self.cancelled.inc(),
+            Ok(_) => self.completed.inc(),
+            Err(_) => self.failed.inc(),
+        }
+    }
 }
 
 /// A fixed pool of solver workers behind a bounded job queue.
@@ -123,6 +176,10 @@ pub struct SolveService {
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     capacity: usize,
+    metrics: MetricsRegistry,
+    submitted: rsqp_obs::Counter,
+    rejected: rsqp_obs::Counter,
+    queue_depth: rsqp_obs::Gauge,
 }
 
 impl fmt::Debug for SolveService {
@@ -142,16 +199,30 @@ impl SolveService {
         let (tx, rx) = mpsc::sync_channel::<QueuedJob>(capacity);
         let rx = Arc::new(Mutex::new(rx));
         let kernel_threads = config.kernel_threads;
+        let metrics = MetricsRegistry::new();
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let registry = metrics.clone();
                 thread::Builder::new()
                     .name(format!("rsqp-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, kernel_threads))
+                    .spawn(move || worker_loop(&rx, kernel_threads, &registry))
                     .expect("spawning a worker thread")
             })
             .collect();
-        SolveService { tx: Some(tx), workers: handles, next_id: AtomicU64::new(0), capacity }
+        let submitted = metrics.counter("jobs_submitted");
+        let rejected = metrics.counter("jobs_rejected");
+        let queue_depth = metrics.gauge("queue_depth");
+        SolveService {
+            tx: Some(tx),
+            workers: handles,
+            next_id: AtomicU64::new(0),
+            capacity,
+            metrics,
+            submitted,
+            rejected,
+            queue_depth,
+        }
     }
 
     /// Starts a service with default sizing.
@@ -183,18 +254,45 @@ impl SolveService {
         };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = CancelToken::new();
-        let deadline = spec.budget.timeout.map(|t| Instant::now() + t);
+        let now = Instant::now();
+        let deadline = spec.budget.timeout.map(|t| now + t);
         let (result_tx, result_rx) = mpsc::channel();
-        let queued = QueuedJob { id, spec, cancel: cancel.clone(), deadline, result_tx };
+        let queued =
+            QueuedJob { id, spec, cancel: cancel.clone(), deadline, submitted_at: now, result_tx };
         match tx.try_send(queued) {
-            Ok(()) => Ok(JobHandle { id, cancel, rx: result_rx }),
+            Ok(()) => {
+                self.submitted.inc();
+                self.queue_depth.add(1);
+                Ok(JobHandle { id, cancel, rx: result_rx })
+            }
             Err(TrySendError::Full(job)) => {
+                self.rejected.inc();
                 Err(SubmitError::QueueFull { spec: job.spec, capacity: self.capacity })
             }
             Err(TrySendError::Disconnected(job)) => {
+                self.rejected.inc();
                 Err(SubmitError::ShuttingDown { spec: job.spec })
             }
         }
+    }
+
+    /// The service's live metrics registry. Counters and gauges cover the
+    /// queue (`jobs_submitted`, `jobs_rejected`, `queue_depth`), execution
+    /// (`jobs_in_flight`, `jobs_completed`, `jobs_failed`,
+    /// `jobs_cancelled`, `retries`, `panics`), and latency histograms
+    /// (`queue_wait_us`, `exec_time_us`). Callers may also register their
+    /// own metrics here (e.g. folding `rsqp-arch` machine stats into the
+    /// same snapshot).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of every service metric. Safe to call at any
+    /// moment — including while workers are mid-job; once every accepted
+    /// job's report has been received,
+    /// `jobs_submitted == jobs_completed + jobs_failed + jobs_cancelled`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Stops accepting jobs, drains the queue, and joins the workers.
@@ -219,13 +317,25 @@ impl Drop for SolveService {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<QueuedJob>>>, kernel_threads: Option<usize>) {
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<QueuedJob>>>,
+    kernel_threads: Option<usize>,
+    registry: &MetricsRegistry,
+) {
+    let metrics = WorkerMetrics::new(registry);
     loop {
         // Hold the lock only to dequeue, never while solving. A poisoned
         // lock cannot happen (recv does not panic) but is survived anyway.
         let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
         let Ok(job) = job else { break };
+        let started = Instant::now();
+        metrics.queue_depth.sub(1);
+        metrics.in_flight.add(1);
+        metrics.queue_wait_us.observe(job.submitted_at.elapsed().as_micros() as u64);
         let report = run_job(job.id, job.spec, &job.cancel, job.deadline, kernel_threads);
+        metrics.exec_time_us.observe(started.elapsed().as_micros() as u64);
+        metrics.record_outcome(&report);
+        metrics.in_flight.sub(1);
         // The submitter may have dropped the handle; that is not an error.
         let _ = job.result_tx.send(report);
     }

@@ -271,3 +271,52 @@ fn checkpointed_resume_flows_through_the_service() {
         assert!((v - want).abs() < 1e-6, "{v}");
     }
 }
+
+#[test]
+fn metrics_snapshot_tracks_the_job_lifecycle() {
+    let service =
+        SolveService::new(ServiceConfig { workers: 2, queue_capacity: 16, ..Default::default() });
+    let handles: Vec<_> = (0..8)
+        .map(|i| service.submit(JobSpec::new(box_qp(2 + i % 3))).expect("queue has room"))
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait().status(), Some(Status::Solved));
+    }
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter("jobs_submitted"), 8);
+    assert_eq!(snap.counter("jobs_completed"), 8);
+    assert_eq!(snap.counter("jobs_failed"), 0);
+    assert_eq!(snap.counter("jobs_cancelled"), 0);
+    assert_eq!(snap.counter("jobs_rejected"), 0);
+    // Every accepted job has reported, so the ledger balances and nothing
+    // is queued or in flight.
+    assert_eq!(
+        snap.counter("jobs_submitted"),
+        snap.counter("jobs_completed")
+            + snap.counter("jobs_failed")
+            + snap.counter("jobs_cancelled")
+    );
+    assert_eq!(snap.gauge("queue_depth"), 0);
+    assert_eq!(snap.gauge("jobs_in_flight"), 0);
+    // One latency sample per executed job, on both histograms.
+    assert_eq!(snap.histograms["queue_wait_us"].count(), 8);
+    assert_eq!(snap.histograms["exec_time_us"].count(), 8);
+}
+
+#[test]
+fn metrics_classify_cancelled_jobs_separately() {
+    let service =
+        SolveService::new(ServiceConfig { workers: 1, queue_capacity: 4, ..Default::default() });
+    let handle = service
+        .submit(JobSpec::new(endless_problem()).with_settings(endless_settings()))
+        .expect("queue has room");
+    std::thread::sleep(Duration::from_millis(20));
+    handle.cancel();
+    let report = handle.wait();
+    assert_eq!(report.status(), Some(Status::Cancelled));
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.counter("jobs_cancelled"), 1);
+    assert_eq!(snap.counter("jobs_completed"), 0);
+    assert_eq!(snap.counter("jobs_failed"), 0);
+    assert_eq!(snap.counter("jobs_submitted"), 1);
+}

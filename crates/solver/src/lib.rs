@@ -74,3 +74,6 @@ pub use scaling::Scaling;
 pub use settings::{CgTolerance, KktOrdering, LinSysKind, Settings};
 pub use solver::{SolveResult, Solver, TimingBreakdown};
 pub use status::Status;
+// Trace types re-exported so downstream crates can consume
+// `SolveResult::trace` without a direct `rsqp-obs` dependency.
+pub use rsqp_obs::{IterationTrace, SolveTrace, TraceEvent};

@@ -102,6 +102,12 @@ pub struct Settings {
     /// strictly serial). Results are bit-identical regardless of the value —
     /// see the determinism contract in `rsqp-par`.
     pub threads: usize,
+    /// Collects a full [`rsqp_obs::SolveTrace`] (phase spans, per-iteration
+    /// residuals and PCG counts, ρ-update and guard events) on the returned
+    /// `SolveResult`. Off by default: when disabled the solve allocates
+    /// nothing for telemetry and the hot path is unchanged (the zero-alloc
+    /// proof in `tests/zero_alloc.rs` runs with this setting off).
+    pub trace: bool,
 }
 
 impl Default for Settings {
@@ -130,6 +136,7 @@ impl Default for Settings {
             time_limit: None,
             guard: GuardSettings::default(),
             threads: 1,
+            trace: false,
         }
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rsqp_obs::{IterationTrace, SolveTrace, SpanId, SpanRecord, Timeline, TraceEvent};
 use rsqp_sparse::{CsrMatrix, TransposeCache};
 
 use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
@@ -18,6 +19,15 @@ use crate::{QpProblem, RhoManager, Scaling, Settings, SolverError, Status};
 const GUARD_CG_FLOOR: f64 = 1e-12;
 /// Multiplier applied to the CG tolerance at the tightening rung.
 const GUARD_CG_SHRINK: f64 = 1e-2;
+
+/// Trace-event kind for a recovery-ladder action label.
+fn recovery_kind(action: &str) -> &'static str {
+    if action == "fallback_to_direct" {
+        "backend_fallback"
+    } else {
+        "guard_recovery"
+    }
+}
 
 /// Wall-clock breakdown of a solve, used to reproduce Figure 8 (the share of
 /// solver time spent in the KKT solve).
@@ -74,6 +84,10 @@ pub struct SolveResult {
     pub backend: BackendStats,
     /// Wall-clock breakdown.
     pub timings: TimingBreakdown,
+    /// Full telemetry record of the solve (phase spans, per-iteration
+    /// residuals and PCG counts, ρ-update and guard events). `Some` only
+    /// when [`Settings::trace`] was enabled.
+    pub trace: Option<SolveTrace>,
 }
 
 impl std::fmt::Display for SolveResult {
@@ -98,6 +112,21 @@ impl std::fmt::Display for SolveResult {
                 String::new()
             }
         )
+    }
+}
+
+/// In-flight telemetry while a traced solve runs. Lives entirely on the
+/// `solve_with_control` stack; when [`Settings::trace`] is off it is never
+/// constructed, so a disabled solve performs no telemetry allocations.
+struct TraceBuilder {
+    timeline: Timeline,
+    loop_span: SpanId,
+    trace: SolveTrace,
+}
+
+impl TraceBuilder {
+    fn event(&mut self, iter: usize, kind: &str, detail: String) {
+        self.trace.events.push(TraceEvent { iter: iter as u64, kind: kind.to_string(), detail });
     }
 }
 
@@ -132,6 +161,8 @@ pub struct Solver {
     /// Pre-sized per-iteration scratch (kept across `solve` calls).
     ws: IterateWorkspace,
     setup_time: Duration,
+    /// Portion of `setup_time` spent in Ruiz equilibration (trace span).
+    scaling_time: Duration,
     /// Work counters of backends retired by the recovery ladder.
     retired_stats: BackendStats,
     /// ADMM iterations accumulated across `solve` calls (checkpoint
@@ -232,6 +263,7 @@ impl Solver {
         let n = problem.num_vars();
         let m = problem.num_constraints();
 
+        let t_scaling = Instant::now();
         let (scaling, p, q, a) = if settings.scaling_iters > 0 {
             let (sc, data) =
                 Scaling::ruiz(problem.p(), problem.q(), problem.a(), settings.scaling_iters);
@@ -244,6 +276,7 @@ impl Solver {
                 problem.a().clone(),
             )
         };
+        let scaling_time = t_scaling.elapsed();
         let (l, u) = scaling.scale_bounds(problem.l(), problem.u());
         let rho_mgr = RhoManager::new(settings.rho, &l, &u);
         let backend = factory(&p, &a, settings.sigma, rho_mgr.rho_vec(), &settings)?;
@@ -265,6 +298,7 @@ impl Solver {
             y: vec![0.0; m],
             ws: IterateWorkspace::new(n, m),
             setup_time: start.elapsed(),
+            scaling_time,
             retired_stats: BackendStats::default(),
             total_iterations: 0,
         })
@@ -526,6 +560,23 @@ impl Solver {
         } else {
             None
         };
+        let mut tracer: Option<TraceBuilder> = if s.trace {
+            let mut timeline = Timeline::new();
+            timeline.start("solve");
+            let loop_span = timeline.start("admm_loop");
+            Some(TraceBuilder {
+                timeline,
+                loop_span,
+                trace: SolveTrace {
+                    problem: self.orig.name().to_string(),
+                    n,
+                    m,
+                    ..SolveTrace::default()
+                },
+            })
+        } else {
+            None
+        };
 
         for k in 1..=max_iter {
             // Budget check at the iteration boundary. This also catches a
@@ -541,6 +592,7 @@ impl Solver {
             self.ws.prev_x.copy_from_slice(&self.x);
             self.ws.prev_y.copy_from_slice(&self.y);
 
+            let cg_before = if tracer.is_some() { self.backend.stats().cg_iterations } else { 0 };
             let t = Instant::now();
             let kkt_result = self.backend.solve_kkt(
                 &self.x,
@@ -550,15 +602,19 @@ impl Solver {
                 &mut self.ws.xtilde,
                 &mut self.ws.ztilde,
             );
-            kkt_time += t.elapsed();
+            let kkt_elapsed = t.elapsed();
+            kkt_time += kkt_elapsed;
             if let Err(e) = kkt_result {
                 match guard.as_mut() {
                     Some(g) if e.is_recoverable() => {
-                        if self.apply_recovery(
+                        if let Some(action) = self.apply_recovery(
                             g,
                             &Anomaly::BackendFault { error: e },
                             &mut cg_eps,
                         )? {
+                            if let Some(tb) = tracer.as_mut() {
+                                tb.event(k, recovery_kind(action), action.to_string());
+                            }
                             continue;
                         }
                         status = Status::NumericalError;
@@ -567,6 +623,16 @@ impl Solver {
                     }
                     _ => return Err(e),
                 }
+            }
+            if let Some(tb) = tracer.as_mut() {
+                tb.trace.records.push(IterationTrace {
+                    iter: k as u64,
+                    cg_iters: self.backend.stats().cg_iterations.saturating_sub(cg_before) as u64,
+                    kkt_ns: kkt_elapsed.as_nanos() as u64,
+                    rho_bar: self.rho_mgr.rho_bar(),
+                    prim_res: f64::NAN,
+                    dual_res: f64::NAN,
+                });
             }
 
             // x^{k+1} = α x̃ + (1−α) x^k        (Algorithm 1, line 5)
@@ -607,10 +673,19 @@ impl Solver {
                 s.eps_rel,
             );
             last_info = Some(info);
+            if let Some(tb) = tracer.as_mut() {
+                if let Some(r) = tb.trace.records.last_mut() {
+                    r.prim_res = info.prim;
+                    r.dual_res = info.dual;
+                }
+            }
 
             if let Some(g) = guard.as_mut() {
                 if let Some(anomaly) = g.inspect(&self.x, &self.z, &self.y, info.prim, info.dual) {
-                    if self.apply_recovery(g, &anomaly, &mut cg_eps)? {
+                    if let Some(action) = self.apply_recovery(g, &anomaly, &mut cg_eps)? {
+                        if let Some(tb) = tracer.as_mut() {
+                            tb.event(k, recovery_kind(action), action.to_string());
+                        }
                         continue;
                     }
                     status = Status::NumericalError;
@@ -663,10 +738,21 @@ impl Solver {
                 if changed {
                     self.backend.update_rho(self.rho_mgr.rho_vec())?;
                     last_rho_iter = k;
+                    if let Some(tb) = tracer.as_mut() {
+                        let rho_bar = self.rho_mgr.rho_bar();
+                        if let Some(r) = tb.trace.records.last_mut() {
+                            r.rho_bar = rho_bar;
+                        }
+                        tb.event(k, "rho_update", format!("{rho_bar:?}"));
+                    }
                 }
             }
         }
 
+        if let Some(tb) = tracer.as_mut() {
+            let id = tb.loop_span;
+            tb.timeline.end(id);
+        }
         self.total_iterations += iterations as u64;
         let mut x = self.scaling.unscale_x(&self.x);
         let mut y = self.scaling.unscale_y(&self.y);
@@ -680,6 +766,7 @@ impl Solver {
         // convergence and here, the status stays Solved (the iterate is a
         // solution) but the optional refinement is skipped.
         if s.polish && status == Status::Solved && budget.check(Instant::now()).is_none() {
+            let polish_span = tracer.as_mut().map(|tb| tb.timeline.start("polish"));
             if let Some(out) =
                 crate::polish::polish(&self.orig, &y, s.polish_delta, s.polish_refine_iters)?
             {
@@ -693,6 +780,14 @@ impl Solver {
                     polished = true;
                 }
             }
+            if let (Some(tb), Some(id)) = (tracer.as_mut(), polish_span) {
+                tb.timeline.end(id);
+                tb.event(
+                    iterations,
+                    "polish",
+                    if polished { "accepted" } else { "rejected" }.to_string(),
+                );
+            }
         }
         // Last line of defense, guard or no guard: never report Solved with
         // a non-finite solution.
@@ -704,6 +799,36 @@ impl Solver {
             status = Status::NumericalError;
         }
         let objective = self.orig.objective(&x);
+        let trace = tracer.map(|tb| {
+            let mut trace = tb.trace;
+            trace.backend = self.backend.name().to_string();
+            trace.status = status.to_string();
+            trace.iterations = iterations as u64;
+            // The timeline's origin is the start of `solve`; splice the
+            // setup/scaling phases (measured in `Solver::new`, before the
+            // timeline existed) in front and shift the live spans so the
+            // whole trace shares one time axis.
+            let setup_ns = self.setup_time.as_nanos() as u64;
+            let scaling_ns = self.scaling_time.as_nanos() as u64;
+            trace.spans.push(SpanRecord {
+                name: "setup".to_string(),
+                depth: 0,
+                start_ns: 0,
+                end_ns: setup_ns,
+            });
+            trace.spans.push(SpanRecord {
+                name: "scaling".to_string(),
+                depth: 1,
+                start_ns: 0,
+                end_ns: scaling_ns.min(setup_ns),
+            });
+            for mut span in tb.timeline.finish() {
+                span.start_ns += setup_ns;
+                span.end_ns += setup_ns;
+                trace.spans.push(span);
+            }
+            trace
+        });
         Ok(SolveResult {
             status,
             x,
@@ -722,29 +847,31 @@ impl Solver {
                 solve: t_start.elapsed(),
                 kkt_solve: kkt_time,
             },
+            trace,
         })
     }
 
-    /// Applies one rung of the recovery ladder. Returns `Ok(true)` when the
-    /// solve should continue iterating, `Ok(false)` when the ladder is
-    /// exhausted (caller reports [`Status::NumericalError`]).
+    /// Applies one rung of the recovery ladder. Returns `Ok(Some(action))`
+    /// when the solve should continue iterating (the label names the rung,
+    /// for the trace), `Ok(None)` when the ladder is exhausted (caller
+    /// reports [`Status::NumericalError`]).
     fn apply_recovery(
         &mut self,
         guard: &mut Guard,
         anomaly: &Anomaly,
         cg_eps: &mut f64,
-    ) -> Result<bool, SolverError> {
+    ) -> Result<Option<&'static str>, SolverError> {
         let can_fallback = self.backend.name() != "ldlt";
         match guard.recover(anomaly, can_fallback) {
             RecoveryAction::ResetIterates => {
                 guard.restore(&mut self.x, &mut self.z, &mut self.y);
-                Ok(true)
+                Ok(Some("reset_iterates"))
             }
             RecoveryAction::TightenCgTolerance => {
                 guard.restore(&mut self.x, &mut self.z, &mut self.y);
                 *cg_eps = (*cg_eps * GUARD_CG_SHRINK).max(GUARD_CG_FLOOR);
                 self.backend.set_cg_tolerance(*cg_eps);
-                Ok(true)
+                Ok(Some("tighten_cg_tolerance"))
             }
             RecoveryAction::FallbackToDirect => {
                 guard.restore(&mut self.x, &mut self.z, &mut self.y);
@@ -759,9 +886,9 @@ impl Solver {
                 )?;
                 self.retired_stats = self.retired_stats.merged(self.backend.stats());
                 self.backend = Box::new(direct);
-                Ok(true)
+                Ok(Some("fallback_to_direct"))
             }
-            RecoveryAction::Abort => Ok(false),
+            RecoveryAction::Abort => Ok(None),
         }
     }
 
