@@ -1,0 +1,238 @@
+//! Repeated-solve (MPC session) benchmark with a regression gate.
+//!
+//! Runs the paper's flagship repeated-solve workload — a 40-step linear MPC
+//! sequence on the control family, where each step carries a new initial
+//! state in through the bounds — two ways:
+//!
+//! * **session**: one [`SolveSession`] with a shared
+//!   [`CustomizationCache`]: the solver, its equilibration, and the cached
+//!   customization + symbolic LDLᵀ ordering persist across steps, and every
+//!   step warm-starts from the previous solution;
+//! * **cold**: a fresh [`Solver`] per step (re-running setup, symbolic
+//!   analysis, and the full ADMM iteration from zero) — the cost a caller
+//!   pays without the session layer.
+//!
+//! The exactly-once customization contract is asserted **on every run**
+//! (with or without `--check`): a 40-step single-pattern sequence must
+//! record `cache_misses == 1` and `cache_hits == 39`, and the session's
+//! mean per-step wall time must beat the cold baseline. Output is a flat
+//! JSON map written to `BENCH_sessions.json`; with `--check`, the run
+//! instead gates its dimensionless `speedup_*` metrics against that
+//! committed baseline (25% regression band — raw nanoseconds are recorded
+//! for inspection but not gated, since CI hosts differ).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rsqp_problems::control;
+use rsqp_runtime::{CustomizationCache, SessionConfig, SolveSession, StepUpdate};
+use rsqp_solver::{Settings, Solver, Status};
+
+/// Baseline/output location, relative to the workspace root CI runs from.
+const BASELINE: &str = "BENCH_sessions.json";
+/// Gate: a speedup metric may not fall below this fraction of baseline.
+const TOLERANCE: f64 = 0.75;
+/// Steps in the MPC sequence; the ledger gate is tied to this.
+const STEPS: u64 = 40;
+
+struct Options {
+    check: bool,
+    quick: bool,
+    update: bool,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options { check: false, quick: false, update: false };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => o.check = true,
+            "--quick" => o.quick = true,
+            "--update" => o.update = true,
+            other => panic!("unknown option {other} (expected --check / --quick / --update)"),
+        }
+    }
+    o
+}
+
+/// One benchmark report: insertion-ordered `(name, value)` pairs.
+#[derive(Default)]
+struct Report(Vec<(String, f64)>);
+
+impl Report {
+    fn push(&mut self, name: &str, value: f64) {
+        self.0.push((name.to_string(), value));
+    }
+
+    fn get(&self, name: &str) -> Option<f64> {
+        self.0.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in self.0.iter().enumerate() {
+            let sep = if i + 1 == self.0.len() { "" } else { "," };
+            out.push_str(&format!("  \"{name}\": {value:.3}{sep}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Minimal parser for the flat `{"name": number, ...}` maps this
+    /// binary writes.
+    fn from_json(text: &str) -> Report {
+        let mut report = Report::default();
+        for piece in text.split(',') {
+            let Some((key, value)) = piece.split_once(':') else { continue };
+            let key = key.trim().trim_start_matches(['{', '\n', ' ']).trim_matches('"');
+            let value = value.trim().trim_end_matches(['}', '\n', ' ']);
+            if let Ok(v) = value.parse::<f64>() {
+                if !key.is_empty() {
+                    report.push(key, v);
+                }
+            }
+        }
+        report
+    }
+}
+
+/// The MPC step input: seed `k`'s bounds carry that instance's initial
+/// state (the first `nx` rows); dynamics and box rows are identical across
+/// seeds, so only values change and the pattern key is stable.
+fn step_bounds(size: usize, seed: u64) -> StepUpdate {
+    let target = control::generate(size, seed);
+    StepUpdate::Bounds { l: target.l().to_vec(), u: target.u().to_vec() }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let size = if opts.quick { 4 } else { 8 };
+    let settings = Settings::default();
+    let mut report = Report::default();
+    report.push("steps", STEPS as f64);
+    report.push("control_size", size as f64);
+
+    // --- Session mode: persistent solver + pattern-keyed cache ----------
+    let cache = Arc::new(CustomizationCache::new(4));
+    let config =
+        SessionConfig::default().with_settings(settings.clone()).with_cache(Arc::clone(&cache));
+    let mut session = SolveSession::new(control::generate(size, 1), config);
+
+    let mut session_total_ns = 0.0f64;
+    let mut first_step_ns = 0.0f64;
+    let mut session_iters = 0u64;
+    for seed in 1..=STEPS {
+        let updates = if seed == 1 { Vec::new() } else { vec![step_bounds(size, seed)] };
+        let t = Instant::now();
+        let step = session.step(updates).expect("session step");
+        let ns = t.elapsed().as_nanos() as f64;
+        session_total_ns += ns;
+        if seed == 1 {
+            first_step_ns = ns;
+        }
+        assert_eq!(step.result.status, Status::Solved, "session step {seed} did not solve");
+        session_iters += step.result.iterations as u64;
+    }
+
+    // The exactly-once contract, asserted on every run: 40 steps of one
+    // pattern touch the customization pipeline and the symbolic analysis
+    // exactly once.
+    let snap = session.metrics().snapshot();
+    assert_eq!(snap.counter("session_steps"), STEPS);
+    assert_eq!(
+        snap.counter("cache_misses"),
+        1,
+        "a single-pattern {STEPS}-step sequence must customize exactly once"
+    );
+    assert_eq!(snap.counter("cache_hits"), STEPS - 1);
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), STEPS - 1);
+
+    report.push("session_total_ns", session_total_ns);
+    report.push("session_first_step_ns", first_step_ns);
+    report.push("session_mean_step_ns", session_total_ns / STEPS as f64);
+    // Steady state excludes the one miss step that pays customization.
+    report.push("session_steady_step_ns", (session_total_ns - first_step_ns) / (STEPS - 1) as f64);
+    report.push("session_mean_iters", session_iters as f64 / STEPS as f64);
+    report.push("cache_misses", cache.misses() as f64);
+    report.push("cache_hits", cache.hits() as f64);
+
+    // --- Cold baseline: fresh solver per step ---------------------------
+    let mut cold_total_ns = 0.0f64;
+    let mut cold_iters = 0u64;
+    let base = control::generate(size, 1);
+    for seed in 1..=STEPS {
+        let mut problem = base.clone();
+        if seed > 1 {
+            let target = control::generate(size, seed);
+            problem.update_bounds(target.l().to_vec(), target.u().to_vec()).unwrap();
+        }
+        let t = Instant::now();
+        let mut solver = Solver::new(&problem, settings.clone()).expect("cold solver");
+        let result = solver.solve().expect("cold solve");
+        cold_total_ns += t.elapsed().as_nanos() as f64;
+        assert_eq!(result.status, Status::Solved, "cold step {seed} did not solve");
+        cold_iters += result.iterations as u64;
+    }
+    let cold_mean = cold_total_ns / STEPS as f64;
+    let session_mean = session_total_ns / STEPS as f64;
+    report.push("cold_total_ns", cold_total_ns);
+    report.push("cold_mean_step_ns", cold_mean);
+    report.push("cold_mean_iters", cold_iters as f64 / STEPS as f64);
+    report.push("speedup_session_vs_cold", cold_mean / session_mean);
+
+    // Sessions must pay off on their flagship workload, on every host.
+    assert!(
+        session_mean < cold_mean,
+        "session mean step ({session_mean:.0} ns) is not below the cold baseline \
+         ({cold_mean:.0} ns)"
+    );
+
+    println!("bench_sessions results (control_{size:04}, {STEPS} steps):");
+    for (name, value) in &report.0 {
+        println!("  {name:>26}: {value:.3}");
+    }
+
+    if opts.check && !opts.update {
+        return check(&report);
+    }
+    std::fs::write(BASELINE, report.to_json()).expect("write baseline");
+    println!("wrote {BASELINE}");
+    ExitCode::SUCCESS
+}
+
+fn check(current: &Report) -> ExitCode {
+    let Ok(text) = std::fs::read_to_string(BASELINE) else {
+        eprintln!("no committed baseline at {BASELINE}; run bench_sessions to create one");
+        return ExitCode::FAILURE;
+    };
+    let baseline = Report::from_json(&text);
+    let mut failures = 0;
+    for (name, base) in &baseline.0 {
+        if !name.starts_with("speedup_") || *base <= 0.0 {
+            continue;
+        }
+        match current.get(name) {
+            Some(now) if now >= base * TOLERANCE => {
+                println!("OK   {name}: {now:.3} (baseline {base:.3})");
+            }
+            Some(now) => {
+                eprintln!(
+                    "FAIL {name}: {now:.3} fell below {:.3} (baseline {base:.3} x {TOLERANCE})",
+                    base * TOLERANCE
+                );
+                failures += 1;
+            }
+            None => {
+                println!("SKIP {name}: not measured in this run");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} session speedup metric(s) regressed past the {TOLERANCE} band");
+        ExitCode::FAILURE
+    } else {
+        println!("all gated metrics within tolerance");
+        ExitCode::SUCCESS
+    }
+}

@@ -8,6 +8,10 @@
 //!   structure set with LZW (minimizing `E_p`), compress the vector buffers
 //!   with First-Fit (minimizing `E_c`), and score the result with the match
 //!   metric η of §3.6;
+//! * [`CustomizationCache`] — a bounded, pattern-keyed cache of those
+//!   artifacts (plus the symbolic LDLᵀ ordering), so repeated-solve
+//!   workloads pay the pipeline once per sparsity structure, not per
+//!   problem instance;
 //! * [`FpgaPcgBackend`] — a [`rsqp_solver::KktBackend`] that runs Algorithm
 //!   2 on the cycle-level machine of `rsqp-arch`, so the OSQP outer loop
 //!   converges on *simulated-FPGA arithmetic* while cycles are counted;
@@ -32,12 +36,14 @@
 
 mod backend;
 pub mod bundle;
+mod cache;
 mod customize;
 mod eta;
 pub mod perf;
 pub mod report;
 
 pub use backend::FpgaPcgBackend;
+pub use cache::{CacheLookup, CacheParams, CustomizationCache, PatternArtifacts};
 pub use customize::{
     baseline_config, customize, customize_with_config, layout_for, CustomizationResult,
     MatrixCustomization,

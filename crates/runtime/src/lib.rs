@@ -24,6 +24,10 @@
 //!   errors, panics) at the backend boundary, composing with the
 //!   cycle-level bit-flip faults of `rsqp-arch` for end-to-end chaos runs
 //!   (`cargo run -p rsqp-bench --bin chaos_smoke`).
+//! * [`SolveSession`] — MPC-style parametric re-solves: one persistent,
+//!   warm-started solver fed a stream of [`StepUpdate`]s, with a shared
+//!   pattern-keyed [`CustomizationCache`] so customization and symbolic
+//!   analysis run once per sparsity structure, not once per step.
 //!
 //! # Example
 //!
@@ -58,11 +62,16 @@ mod chaos;
 mod job;
 mod retry;
 mod service;
+mod session;
 
 pub use chaos::ChaosPlan;
 pub use job::{AttemptSummary, BackendFactory, JobBudget, JobError, JobHandle, JobReport, JobSpec};
 pub use retry::RetryPolicy;
 pub use service::{ServiceConfig, SolveService, SubmitError};
+pub use session::{SessionConfig, SolveSession, StepReport, StepUpdate};
+// Cache types re-exported so sessions can be configured without a direct
+// `rsqp-core` dependency.
+pub use rsqp_core::{CacheLookup, CacheParams, CustomizationCache, PatternArtifacts};
 // Telemetry types re-exported so callers can consume
 // `SolveService::metrics_snapshot()` without a direct `rsqp-obs` dependency.
 pub use rsqp_obs::{MetricsRegistry, MetricsSnapshot};

@@ -16,6 +16,7 @@ use rsqp_solver::{
 
 use crate::job::{AttemptSummary, JobError, JobHandle, JobReport, JobSpec};
 use crate::retry::degrade;
+use crate::session::{SessionConfig, SolveSession};
 
 /// Sizing of a [`SolveService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -293,6 +294,20 @@ impl SolveService {
     /// `jobs_submitted == jobs_completed + jobs_failed + jobs_cancelled`.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Opens an MPC-style [`SolveSession`] recording into this service's
+    /// metrics registry (`session_steps`, `cache_hits`, `cache_misses`,
+    /// `session_step_us` land in the same snapshot as the queue metrics).
+    /// The session runs on the caller's thread — the worker pool is for
+    /// independent throughput jobs, a session is a latency-bound sequential
+    /// loop.
+    pub fn open_session(
+        &self,
+        problem: impl Into<Arc<rsqp_solver::QpProblem>>,
+        config: SessionConfig,
+    ) -> SolveSession {
+        SolveSession::with_metrics(problem, config, self.metrics.clone())
     }
 
     /// Stops accepting jobs, drains the queue, and joins the workers.

@@ -103,6 +103,34 @@ pub trait KktBackend {
     fn stats(&self) -> BackendStats;
 }
 
+/// Computes the fill-reducing ordering [`DirectLdltBackend`] would use for
+/// the KKT pattern of `(P, A)` under `ordering`, without factorizing.
+/// Returns `None` for [`KktOrdering::Natural`] (no permutation).
+///
+/// The result depends only on the sparsity structure — the KKT values are
+/// assembled with placeholder σ/ρ — so it can be computed once per pattern,
+/// cached, and replayed through [`DirectLdltBackend::with_permutation`] for
+/// every value instance of the structure (this is the symbolic half of the
+/// factorization that `rsqp-core`'s customization cache amortizes).
+///
+/// # Errors
+///
+/// Returns [`SolverError::Linsys`] if the KKT assembly or the ordering
+/// computation fails (inconsistent shapes).
+pub fn kkt_ordering(
+    p: &CsrMatrix,
+    a: &CsrMatrix,
+    ordering: KktOrdering,
+) -> Result<Option<Vec<usize>>, SolverError> {
+    let rho = vec![1.0; a.nrows()];
+    let kkt = KktMatrix::assemble(p, a, 1.0, &rho)?;
+    Ok(match ordering {
+        KktOrdering::Natural => None,
+        KktOrdering::Rcm => Some(rcm_ordering(kkt.matrix())?),
+        KktOrdering::MinDegree => Some(min_degree_ordering(kkt.matrix())?),
+    })
+}
+
 /// Direct LDLᵀ backend (OSQP's CPU default).
 #[derive(Debug)]
 pub struct DirectLdltBackend {
@@ -152,6 +180,40 @@ impl DirectLdltBackend {
                 Some(SymmetricPermutation::new(kkt.matrix(), min_degree_ordering(kkt.matrix())?)?)
             }
         };
+        Self::from_parts(p, a, sigma, rho, kkt, permutation)
+    }
+
+    /// Assembles and factorizes under a caller-provided fill-reducing
+    /// permutation, skipping the symbolic ordering search. The ordering of
+    /// the KKT pattern depends only on the *structure* of `P` and `A`, so a
+    /// permutation computed once (see [`kkt_ordering`]) transfers to every
+    /// problem with the same sparsity pattern — including the re-equilibrated
+    /// matrices a parametric session produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::Linsys`] if `perm` is not a permutation of the
+    /// KKT dimension `n + m` or the factorization fails.
+    pub fn with_permutation(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        perm: Vec<usize>,
+    ) -> Result<Self, SolverError> {
+        let kkt = KktMatrix::assemble(p, a, sigma, rho)?;
+        let permutation = Some(SymmetricPermutation::new(kkt.matrix(), perm)?);
+        Self::from_parts(p, a, sigma, rho, kkt, permutation)
+    }
+
+    fn from_parts(
+        p: &CsrMatrix,
+        a: &CsrMatrix,
+        sigma: f64,
+        rho: &[f64],
+        kkt: KktMatrix,
+        permutation: Option<SymmetricPermutation>,
+    ) -> Result<Self, SolverError> {
         let factor = match &permutation {
             Some(sp) => Ldlt::factor(sp.matrix())?,
             None => Ldlt::factor(kkt.matrix())?,
@@ -442,6 +504,39 @@ mod tests {
             assert!((xt1[i] - xt2[i]).abs() < 1e-7, "x {} vs {}", xt1[i], xt2[i]);
             assert!((zt1[i] - zt2[i]).abs() < 1e-6, "z {} vs {}", zt1[i], zt2[i]);
         }
+    }
+
+    #[test]
+    fn cached_permutation_matches_fresh_ordering() {
+        let (p, a, rho) = data();
+        let sigma = 1e-6;
+        let perm = kkt_ordering(&p, &a, KktOrdering::MinDegree).unwrap().expect("permutation");
+        let mut fresh =
+            DirectLdltBackend::with_ordering(&p, &a, sigma, &rho, KktOrdering::MinDegree).unwrap();
+        let mut cached = DirectLdltBackend::with_permutation(&p, &a, sigma, &rho, perm).unwrap();
+        let x = vec![0.1, -0.2];
+        let z = vec![0.3, 0.4];
+        let y = vec![-0.1, 0.2];
+        let q = vec![1.0, -1.0];
+        let (mut xt1, mut zt1) = (vec![0.0; 2], vec![0.0; 2]);
+        let (mut xt2, mut zt2) = (vec![0.0; 2], vec![0.0; 2]);
+        fresh.solve_kkt(&x, &z, &y, &q, &mut xt1, &mut zt1).unwrap();
+        cached.solve_kkt(&x, &z, &y, &q, &mut xt2, &mut zt2).unwrap();
+        assert_eq!(xt1, xt2, "replayed ordering must reproduce the fresh factorization");
+        assert_eq!(zt1, zt2);
+    }
+
+    #[test]
+    fn with_permutation_rejects_invalid_perm() {
+        let (p, a, rho) = data();
+        assert!(DirectLdltBackend::with_permutation(&p, &a, 1e-6, &rho, vec![0, 0, 1, 2]).is_err());
+        assert!(DirectLdltBackend::with_permutation(&p, &a, 1e-6, &rho, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn natural_ordering_has_no_permutation() {
+        let (p, a, _) = data();
+        assert!(kkt_ordering(&p, &a, KktOrdering::Natural).unwrap().is_none());
     }
 
     #[test]

@@ -62,14 +62,14 @@ mod status;
 mod termination;
 mod workspace;
 
-pub use backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
+pub use backend::{kkt_ordering, BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend};
 pub use checkpoint::Checkpoint;
 pub use control::{CancelToken, SolveControl};
 pub use error::SolverError;
 pub use guard::{Anomaly, Guard, GuardReport, GuardSettings, RecoveryAction};
 pub use polish::{polish, PolishOutcome};
 pub use problem::QpProblem;
-pub use rho::RhoManager;
+pub use rho::{ConstraintKind, RhoManager};
 pub use scaling::Scaling;
 pub use settings::{CgTolerance, KktOrdering, LinSysKind, Settings};
 pub use solver::{SolveResult, Solver, TimingBreakdown};

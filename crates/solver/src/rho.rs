@@ -73,6 +73,15 @@ impl RhoManager {
         self.rebuild();
     }
 
+    /// Replaces the scalar base ρ̄ in place (OSQP's manual `update_rho`),
+    /// rebuilding the per-constraint vectors into the existing buffers — the
+    /// classification and the adaptive-update counter are preserved, and no
+    /// allocation happens when the constraint count is unchanged.
+    pub fn set_rho_bar(&mut self, rho_bar: f64) {
+        self.rho_bar = rho_bar.clamp(RHO_MIN, RHO_MAX);
+        self.rebuild();
+    }
+
     /// Current scalar base ρ̄.
     pub fn rho_bar(&self) -> f64 {
         self.rho_bar
@@ -217,6 +226,21 @@ mod tests {
     fn update_clamps_to_bounds() {
         let mut mgr = RhoManager::new(1.0, &[0.0], &[1.0]);
         assert!(mgr.maybe_update(1e30, 1.0, 1e-30, 1.0, 5.0));
+        assert!(mgr.rho_bar() <= RHO_MAX);
+    }
+
+    #[test]
+    fn set_rho_bar_preserves_kinds_and_counter() {
+        let mut mgr = RhoManager::new(1.0, &[1.0, 0.0, -INF], &[1.0, 2.0, INF]);
+        assert!(mgr.maybe_update(100.0, 1.0, 1.0, 1.0, 5.0));
+        assert_eq!(mgr.updates(), 1);
+        mgr.set_rho_bar(0.5);
+        assert_eq!(mgr.updates(), 1, "manual update must not reset the adaptive counter");
+        assert!((mgr.rho_bar() - 0.5).abs() < 1e-15);
+        assert!((mgr.rho_vec()[0] - 500.0).abs() < 1e-12); // equality: 1e3 * 0.5
+        assert!((mgr.rho_vec()[1] - 0.5).abs() < 1e-15);
+        assert!((mgr.rho_vec()[2] - RHO_MIN).abs() < 1e-18);
+        mgr.set_rho_bar(1e30);
         assert!(mgr.rho_bar() <= RHO_MAX);
     }
 

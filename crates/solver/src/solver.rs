@@ -10,6 +10,7 @@ use crate::backend::{BackendStats, CpuPcgBackend, DirectLdltBackend, KktBackend}
 use crate::control::SolveControl;
 use crate::guard::{Anomaly, Guard, GuardReport, RecoveryAction};
 use crate::infeasibility::{dual_certificate, primal_certificate};
+use crate::rho::ConstraintKind;
 use crate::settings::{CgTolerance, LinSysKind};
 use crate::termination::{residuals, ResidualInfo};
 use crate::workspace::IterateWorkspace;
@@ -361,6 +362,27 @@ impl Solver {
         self.rho_mgr.rho_bar()
     }
 
+    /// The per-constraint ρ vector currently installed in the backend.
+    pub fn rho_vec(&self) -> &[f64] {
+        self.rho_mgr.rho_vec()
+    }
+
+    /// The per-constraint classification (equality / inequality / loose)
+    /// the ρ vector is derived from. Classification happens on the *scaled*
+    /// bounds, so a re-equilibration (e.g. after
+    /// [`Solver::update_matrices`]) may legitimately change it.
+    pub fn constraint_kinds(&self) -> &[ConstraintKind] {
+        self.rho_mgr.kinds()
+    }
+
+    /// A clone of the shared problem handle, reflecting every parametric
+    /// update applied so far. Sessions use this to keep their own `Arc` in
+    /// sync after updates go through the solver (whose copy-on-write may
+    /// have detached from the originally shared allocation).
+    pub fn problem_shared(&self) -> Arc<QpProblem> {
+        Arc::clone(&self.orig)
+    }
+
     /// Total ADMM iterations accumulated across all `solve` calls on this
     /// instance (checkpoint metadata).
     pub fn total_iterations(&self) -> u64 {
@@ -445,9 +467,13 @@ impl Solver {
             )
         };
         // Map current iterates into the new scaled space so warm starts
-        // survive the update.
+        // survive the update. The slack z is carried through the scaling
+        // change like x/y — mid-ADMM it is the *projected* iterate, distinct
+        // from A·x̄, and recomputing it would leave the restart outside
+        // [l, u].
         let x_un = self.scaling.unscale_x(&self.x);
         let y_un = self.scaling.unscale_y(&self.y);
+        let z_un = self.scaling.unscale_z(&self.z);
         self.scaling = scaling;
         self.p = p;
         self.q = q;
@@ -457,7 +483,11 @@ impl Solver {
         self.u = us;
         self.x = self.scaling.scale_x(&x_un);
         self.y = self.scaling.scale_y(&y_un);
-        self.a.spmv(&self.x, &mut self.z)?;
+        self.z = self.scaling.scale_z(&z_un);
+        // The ρ classification is derived from the *scaled* bounds, and the
+        // new equilibration can move a constraint across the equality/loose
+        // thresholds — re-derive it before the backend sees ρ.
+        self.rho_mgr.update_bounds(&self.l, &self.u);
         // Same sparsity structure by contract, so the cached transpose only
         // needs its values regathered.
         self.at_cache.refresh_values(&self.a)?;
@@ -495,7 +525,10 @@ impl Solver {
         if rho_bar <= 0.0 {
             return Err(SolverError::InvalidSetting("rho must be positive".into()));
         }
-        self.rho_mgr = RhoManager::new(rho_bar, &self.l, &self.u);
+        // In-place rebuild: the classification is unchanged (bounds did not
+        // move), the buffers are reused, and the adaptive-update counter
+        // survives — parametric update→re-solve loops stay allocation-free.
+        self.rho_mgr.set_rho_bar(rho_bar);
         self.backend.update_rho(self.rho_mgr.rho_vec())?;
         Ok(())
     }

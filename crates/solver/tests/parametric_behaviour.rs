@@ -1,0 +1,227 @@
+//! Behavioural contract of the parametric update path: after any
+//! `update_*` call, the persistent solver must be indistinguishable from a
+//! fresh solver built on the updated problem — same ρ classification, same
+//! termination status, matching objective — while keeping its warm-start
+//! advantage. The first two tests are regressions for stale-state bugs
+//! (ρ classification and the slack iterate surviving re-equilibration);
+//! the rest is an equivalence suite over every update kind on the control
+//! (MPC) benchmark family.
+
+use rsqp_problems::control;
+use rsqp_solver::{QpProblem, Settings, Solver, Status};
+use rsqp_sparse::CsrMatrix;
+
+/// Tight tolerances so warm and cold solves land on the same high-accuracy
+/// solution and objectives can be compared at 1e-6.
+fn tight() -> Settings {
+    Settings { eps_abs: 1e-8, eps_rel: 1e-8, ..Settings::default() }
+}
+
+fn assert_objectives_match(warm: f64, cold: f64) {
+    let tol = 1e-6 * (1.0 + cold.abs());
+    assert!(
+        (warm - cold).abs() <= tol,
+        "warm re-solve objective {warm} differs from cold solve objective {cold} \
+         beyond tolerance {tol}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Regression: update_matrices must re-derive the ρ classification.
+//
+// The per-constraint ρ classification (equality / inequality / loose) is
+// computed from the *scaled* bounds, and re-running Ruiz on new matrix
+// values changes the row scaling — so a value-only update can move a
+// constraint's scaled gap across the RHO_EQ_TOL threshold. A solver that
+// keeps the stale classification pushes the wrong ρ vector to its backend.
+// ---------------------------------------------------------------------------
+
+/// A 2-variable QP whose first constraint row carries a single entry `v`.
+/// The row's bound gap is fixed at 1e-7: Ruiz scales the row by roughly
+/// 1/√v, so a large `v` shrinks the scaled gap below the equality
+/// threshold (1e-10) and a small `v` stretches it far above.
+fn classification_problem(v: f64) -> QpProblem {
+    let p = CsrMatrix::from_dense(&[vec![2.0, 0.0], vec![0.0, 2.0]]);
+    let a = CsrMatrix::from_dense(&[vec![v, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+    let q = vec![1.0, 1.0];
+    let l = vec![0.0, -1.0, -100.0];
+    let u = vec![1e-7, 1.0, 100.0];
+    QpProblem::new(p, q, a, l, u).unwrap()
+}
+
+#[test]
+fn update_matrices_rederives_rho_classification() {
+    let base = classification_problem(1e8);
+    let updated = classification_problem(1e-8);
+
+    let mut solver = Solver::new(&base, Settings::default()).unwrap();
+    let before = solver.constraint_kinds().to_vec();
+
+    solver.update_matrices(None, Some(updated.a().clone())).unwrap();
+    let after = solver.constraint_kinds().to_vec();
+
+    // Ground truth: a fresh solver sees the updated values from scratch.
+    let fresh = Solver::new(&updated, Settings::default()).unwrap();
+    assert_eq!(
+        after,
+        fresh.constraint_kinds(),
+        "post-update classification diverges from a fresh solver on the same problem"
+    );
+    // Guard against vacuity: the update must actually flip a class, or this
+    // test would pass on the stale-classification bug.
+    assert_ne!(
+        before, after,
+        "test problem no longer flips a constraint class across the update — \
+         retune the entry magnitudes"
+    );
+    // And the rho vector pushed to the backend must reflect the new kinds.
+    assert_eq!(solver.rho_vec(), fresh.rho_vec());
+}
+
+// ---------------------------------------------------------------------------
+// Regression: update_matrices must carry the slack iterate z through the
+// scaling change. Mid-ADMM, z is the *projected* iterate — distinct from
+// A·x̄ — and resetting it to A·x̄ perturbs the next dual update, degrading
+// the warm start the update path exists to preserve.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn update_matrices_preserves_slack_iterate() {
+    let qp = control::generate(3, 42);
+    // Stop mid-ADMM, before the first termination check, so z ≠ A·x̄.
+    let settings = Settings { max_iter: 13, ..Settings::default() };
+    let mut solver = Solver::new(&qp, settings).unwrap();
+    let r = solver.solve().unwrap();
+    assert_eq!(r.status, Status::MaxIterationsReached);
+
+    let before = solver.checkpoint();
+    // Guard against vacuity: if z already equals A·x̄ the reset would be
+    // invisible. Checkpoints are unscaled, so compare in original space.
+    let mut ax = vec![0.0; qp.num_constraints()];
+    qp.a().spmv(&before.x, &mut ax).unwrap();
+    let z_vs_ax: f64 = before.z.iter().zip(&ax).map(|(z, a)| (z - a).abs()).fold(0.0, f64::max);
+    assert!(z_vs_ax > 1e-8, "mid-ADMM slack coincides with A·x̄ ({z_vs_ax:.3e}) — lower max_iter");
+
+    // Identical values ⇒ identical Ruiz scaling ⇒ the update must be a
+    // no-op on the iterates (up to scale/unscale round-off).
+    solver.update_matrices(Some(qp.p().clone()), Some(qp.a().clone())).unwrap();
+    let after = solver.checkpoint();
+    for (i, (zb, za)) in before.z.iter().zip(&after.z).enumerate() {
+        assert!(
+            (zb - za).abs() <= 1e-10 * (1.0 + zb.abs()),
+            "slack component {i} changed across a value-identical update: \
+             {zb} -> {za}"
+        );
+    }
+    for (xb, xa) in before.x.iter().zip(&after.x) {
+        assert!((xb - xa).abs() <= 1e-10 * (1.0 + xb.abs()));
+    }
+    for (yb, ya) in before.y.iter().zip(&after.y) {
+        assert!((yb - ya).abs() <= 1e-10 * (1.0 + yb.abs()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence suite: for every update kind, a warm re-solve through the
+// persistent solver must match a cold solve of the updated problem — same
+// status, objective within 1e-6 — without losing the warm-start advantage
+// (iteration count no worse than the cold solve).
+// ---------------------------------------------------------------------------
+
+/// Runs `base` to optimality, applies `update` to the warm solver and the
+/// same logical change via `rebuild` to a fresh problem, then compares the
+/// warm re-solve against the cold solve.
+fn assert_equivalent(
+    base: &QpProblem,
+    update: impl FnOnce(&mut Solver),
+    rebuild: impl FnOnce(&mut QpProblem),
+) {
+    let mut warm = Solver::new(base, tight()).unwrap();
+    let first = warm.solve().unwrap();
+    assert_eq!(first.status, Status::Solved, "base problem must solve");
+
+    update(&mut warm);
+    let warm_result = warm.solve().unwrap();
+
+    let mut updated = base.clone();
+    rebuild(&mut updated);
+    let mut cold = Solver::new(&updated, tight()).unwrap();
+    let cold_result = cold.solve().unwrap();
+
+    assert_eq!(warm_result.status, cold_result.status);
+    assert_eq!(warm_result.status, Status::Solved);
+    assert_objectives_match(warm_result.objective, cold_result.objective);
+    assert!(
+        warm_result.iterations <= cold_result.iterations,
+        "warm re-solve took {} iterations vs {} cold — the update path \
+         destroyed the warm start",
+        warm_result.iterations,
+        cold_result.iterations
+    );
+}
+
+#[test]
+fn warm_resolve_after_update_q_matches_cold() {
+    let base = control::generate(4, 1);
+    let new_q: Vec<f64> = (0..base.num_vars()).map(|i| 0.1 * ((i as f64) * 0.37).sin()).collect();
+    let q = new_q.clone();
+    assert_equivalent(&base, move |s| s.update_q(new_q).unwrap(), move |p| p.update_q(q).unwrap());
+}
+
+#[test]
+fn warm_resolve_after_update_bounds_matches_cold() {
+    // The MPC step: a new initial state arrives as new bounds on the
+    // first nx constraint rows; structure and matrices are unchanged.
+    let base = control::generate(4, 1);
+    let target = control::generate(4, 2);
+    let (l, u) = (target.l().to_vec(), target.u().to_vec());
+    let (l2, u2) = (l.clone(), u.clone());
+    assert_equivalent(
+        &base,
+        move |s| s.update_bounds(l, u).unwrap(),
+        move |p| p.update_bounds(l2, u2).unwrap(),
+    );
+}
+
+#[test]
+fn warm_resolve_after_update_matrices_matches_cold() {
+    let base = control::generate(4, 1);
+    let target = control::generate(4, 2);
+    let (p_new, a_new) = (target.p().clone(), target.a().clone());
+    let (p2, a2) = (p_new.clone(), a_new.clone());
+    assert_equivalent(
+        &base,
+        move |s| s.update_matrices(Some(p_new), Some(a_new)).unwrap(),
+        move |p| p.update_matrices(Some(p2), Some(a2)).unwrap(),
+    );
+}
+
+#[test]
+fn warm_resolve_after_update_rho_matches_cold() {
+    let base = control::generate(4, 1);
+    let mut warm = Solver::new(&base, tight()).unwrap();
+    let first = warm.solve().unwrap();
+    assert_eq!(first.status, Status::Solved);
+
+    warm.update_rho(1.0).unwrap();
+    assert_eq!(warm.rho_bar(), 1.0);
+    let warm_result = warm.solve().unwrap();
+
+    let mut cold = Solver::new(&base, Settings { rho: 1.0, ..tight() }).unwrap();
+    let cold_result = cold.solve().unwrap();
+
+    assert_eq!(warm_result.status, Status::Solved);
+    assert_eq!(cold_result.status, Status::Solved);
+    assert_objectives_match(warm_result.objective, cold_result.objective);
+    assert!(warm_result.iterations <= cold_result.iterations);
+}
+
+#[test]
+fn update_rho_preserves_classification() {
+    let base = control::generate(3, 7);
+    let mut solver = Solver::new(&base, Settings::default()).unwrap();
+    let kinds = solver.constraint_kinds().to_vec();
+    solver.update_rho(2.5).unwrap();
+    assert_eq!(solver.constraint_kinds(), kinds.as_slice());
+    assert_eq!(solver.rho_bar(), 2.5);
+}

@@ -116,3 +116,55 @@ fn admm_steady_state_is_allocation_free() {
         long, short
     );
 }
+
+#[test]
+fn manual_rho_update_is_allocation_free() {
+    // `update_rho` rebuilds the per-constraint ρ vector into the existing
+    // buffers and the PCG backend copies the new values in place — the
+    // whole call must never touch the heap once the solver exists.
+    let prob = problem();
+    let mut solver = Solver::new(&prob, settings(20)).unwrap();
+    let _ = solver.solve().unwrap();
+    let before = alloc_count();
+    solver.update_rho(0.37).unwrap();
+    solver.update_rho(1.93).unwrap();
+    let during = alloc_count() - before;
+    assert_eq!(
+        during, 0,
+        "update_rho allocated {during} times — the in-place ρ rebuild is \
+         allocating"
+    );
+}
+
+/// Allocation count of an update→re-solve loop (setup and warm-up solve
+/// excluded): three ρ updates, each followed by a full `max_iter` solve.
+fn allocs_for_update_loop(max_iter: usize) -> usize {
+    let prob = problem();
+    let mut solver = Solver::new(&prob, settings(max_iter)).unwrap();
+    let _ = solver.solve().unwrap();
+    let before = alloc_count();
+    for k in 0..3usize {
+        solver.update_rho(0.1 * (k + 1) as f64).unwrap();
+        let result = solver.solve().unwrap();
+        assert_eq!(result.status, Status::MaxIterationsReached);
+        assert_eq!(result.iterations, max_iter);
+    }
+    alloc_count() - before
+}
+
+#[test]
+fn update_resolve_loop_is_allocation_free_per_iteration() {
+    // The parametric repeated-solve loop (MPC-style: update, re-solve,
+    // repeat) must not accumulate allocations with iteration count: the
+    // per-solve totals at 20 and 220 iterations agree exactly, so neither
+    // the updates nor the extra 200 iterations per solve touched the heap.
+    let _ = allocs_for_update_loop(5);
+    let short = allocs_for_update_loop(20);
+    let long = allocs_for_update_loop(220);
+    assert_eq!(
+        short, long,
+        "an update→re-solve loop at 220 iterations allocated {} times vs {} \
+         at 20 iterations — the parametric path is allocating per iteration",
+        long, short
+    );
+}

@@ -54,4 +54,5 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use partition::RowPartition;
+pub use pattern::PatternKey;
 pub use transpose::TransposeCache;

@@ -72,6 +72,84 @@ pub fn same_structure(a: &CsrMatrix, b: &CsrMatrix) -> bool {
         && a.indices() == b.indices()
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_usize(mut h: u64, v: usize) -> u64 {
+    for byte in (v as u64).to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_matrix(mut h: u64, m: &CsrMatrix) -> u64 {
+    h = fnv1a_usize(h, m.nrows());
+    h = fnv1a_usize(h, m.ncols());
+    for &v in m.indptr() {
+        h = fnv1a_usize(h, v);
+    }
+    for &v in m.indices() {
+        h = fnv1a_usize(h, v);
+    }
+    h
+}
+
+/// A structure-only fingerprint of a `(P, A)` matrix pair: the dimensions,
+/// entry counts, and an FNV-1a hash over both matrices' row pointers and
+/// column indices. Values are deliberately excluded — two problems with the
+/// same sparsity pattern but different numbers compare **equal**, which is
+/// exactly the equivalence RSQP's customization pipeline (and the symbolic
+/// half of the LDLᵀ factorization) keys on.
+///
+/// Equality of keys is necessary but, because of the hash, not strictly
+/// sufficient for [`same_structure`]; with a 64-bit hash over both index
+/// arrays, collisions are negligible for cache keying. Use
+/// [`same_structure`] directly when an exact guarantee is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    n: usize,
+    m: usize,
+    p_nnz: usize,
+    a_nnz: usize,
+    hash: u64,
+}
+
+impl PatternKey {
+    /// Fingerprints the structure of a `(P, A)` pair.
+    pub fn new(p: &CsrMatrix, a: &CsrMatrix) -> Self {
+        let hash = fnv1a_matrix(fnv1a_matrix(FNV_OFFSET, p), a);
+        PatternKey { n: p.nrows(), m: a.nrows(), p_nnz: p.nnz(), a_nnz: a.nnz(), hash }
+    }
+
+    /// Number of primal variables (`P` is `n × n`).
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints (`A` is `m × n`).
+    pub fn num_constraints(&self) -> usize {
+        self.m
+    }
+
+    /// Stored entries in `P`.
+    pub fn p_nnz(&self) -> usize {
+        self.p_nnz
+    }
+
+    /// Stored entries in `A`.
+    pub fn a_nnz(&self) -> usize {
+        self.a_nnz
+    }
+
+    /// The 64-bit structural hash.
+    pub fn hash_value(&self) -> u64 {
+        self.hash
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +182,41 @@ mod tests {
         assert!((s.mean_row_nnz - 5.0 / 3.0).abs() < 1e-12);
         // rows: 3 -> bucket 2, 1 -> bucket 0, 1 -> bucket 0
         assert_eq!(s.log2_histogram, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn pattern_key_ignores_values() {
+        let p1 = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        let p2 = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 9.0), (1, 1, -3.0)]);
+        let a1 = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]);
+        let a2 = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 5.0), (0, 1, 7.0)]);
+        assert_eq!(PatternKey::new(&p1, &a1), PatternKey::new(&p2, &a2));
+    }
+
+    #[test]
+    fn pattern_key_distinguishes_structures() {
+        let p = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        let a = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 1.0)]);
+        let a_moved = CsrMatrix::from_triplets(1, 2, vec![(0, 1, 1.0)]);
+        let a_more = CsrMatrix::from_triplets(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]);
+        let key = PatternKey::new(&p, &a);
+        assert_ne!(key, PatternKey::new(&p, &a_moved), "moved entry must change the key");
+        assert_ne!(key, PatternKey::new(&p, &a_more), "extra entry must change the key");
+        // Swapping which matrix holds a pattern must also change the key.
+        let p3 = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0)]);
+        assert_ne!(PatternKey::new(&p, &a), PatternKey::new(&p3, &a));
+    }
+
+    #[test]
+    fn pattern_key_reports_shape() {
+        let p = CsrMatrix::identity(3);
+        let a = CsrMatrix::from_triplets(2, 3, vec![(0, 0, 1.0), (1, 2, 1.0)]);
+        let key = PatternKey::new(&p, &a);
+        assert_eq!(key.num_vars(), 3);
+        assert_eq!(key.num_constraints(), 2);
+        assert_eq!(key.p_nnz(), 3);
+        assert_eq!(key.a_nnz(), 2);
+        assert_ne!(key.hash_value(), 0);
     }
 
     #[test]
